@@ -1,0 +1,276 @@
+(* topoaware: command-line driver for the topology-aware-overlay library.
+
+   Subcommands:
+     list                      show the available experiments
+     experiment <id> [...]     run one paper experiment (or "all")
+     gen-topology [...]        generate a transit-stub topology and print stats
+     nn-search [...]           one nearest-neighbor search, all three algorithms
+     build [...]               build an overlay and report stretch under a strategy *)
+
+module Ts = Topology.Transit_stub
+module Oracle = Topology.Oracle
+module Graph = Topology.Graph
+module Builder = Core.Builder
+module Strategy = Core.Strategy
+module Measure = Core.Measure
+module Search = Proximity.Search
+module Landmarks = Landmark.Landmarks
+module Can_overlay = Can.Overlay
+module Rng = Prelude.Rng
+open Cmdliner
+
+let ppf = Format.std_formatter
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+(* ---- shared argument definitions ---- *)
+
+let verbose_arg =
+  let doc = "Enable debug logging of overlay construction and maintenance." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let scale_arg =
+  let doc = "Divide workload sizes by $(docv) for quicker runs." in
+  Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (experiments are deterministic given the seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let variant_arg =
+  let doc = "Topology preset: tsk-large or tsk-small." in
+  let preset =
+    Arg.enum [ ("tsk-large", Workload.Ctx.Tsk_large); ("tsk-small", Workload.Ctx.Tsk_small) ]
+  in
+  Arg.(value & opt preset Workload.Ctx.Tsk_large & info [ "topology" ] ~docv:"PRESET" ~doc)
+
+let latency_arg =
+  let doc = "Link latency model: gtitm (random per class) or manual (20/5/2/1 ms)." in
+  let model = Arg.enum [ ("gtitm", Ts.Gtitm_random); ("manual", Ts.Manual) ] in
+  Arg.(value & opt model Ts.Gtitm_random & info [ "latency" ] ~docv:"MODEL" ~doc)
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e -> Format.fprintf ppf "%-8s %s@." e.Workload.Registry.name e.Workload.Registry.title)
+      Workload.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available experiments") Term.(const run $ const ())
+
+(* ---- experiment ---- *)
+
+let experiment_cmd =
+  let id =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id, or 'all'.")
+  in
+  let run id scale =
+    if id = "all" then begin
+      Workload.Registry.run_all ~scale ppf;
+      `Ok ()
+    end
+    else begin
+      match Workload.Registry.find id with
+      | Some e ->
+        e.Workload.Registry.run ~scale ppf;
+        `Ok ()
+      | None -> `Error (false, Printf.sprintf "unknown experiment %S (try 'list')" id)
+    end
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Run a paper experiment by id")
+    Term.(ret (const run $ id $ scale_arg))
+
+(* ---- gen-topology ---- *)
+
+let gen_topology_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE" ~doc:"Save the generated topology to $(docv).")
+  in
+  let run variant latency seed scale out =
+    let params =
+      match variant with
+      | Workload.Ctx.Tsk_large -> Ts.tsk_large ~latency ~scale ()
+      | Workload.Ctx.Tsk_small -> Ts.tsk_small ~latency ~scale ()
+    in
+    let topo = Ts.generate (Rng.create seed) params in
+    let g = topo.Ts.graph in
+    Format.fprintf ppf "params: %a@." Ts.pp_params params;
+    Format.fprintf ppf "nodes: %d  edges: %d  connected: %b@." (Graph.node_count g)
+      (Graph.edge_count g) (Graph.is_connected g);
+    Format.fprintf ppf "transit nodes: %d  stub domains: %d@."
+      (Array.length topo.Ts.transit_nodes)
+      (Array.length topo.Ts.stub_members);
+    let oracle = Oracle.build topo in
+    let rng = Rng.create (seed + 1) in
+    let samples = Array.init 1000 (fun _ ->
+        Oracle.dist oracle (Rng.int rng (Graph.node_count g)) (Rng.int rng (Graph.node_count g)))
+    in
+    Format.fprintf ppf "pairwise latency: %a@." Prelude.Stats.pp_summary
+      (Prelude.Stats.summarize samples);
+    match out with
+    | Some path ->
+      Topology.Serialize.save topo path;
+      Format.fprintf ppf "saved to %s@." path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "gen-topology" ~doc:"Generate a transit-stub topology and print statistics")
+    Term.(const run $ variant_arg $ latency_arg $ seed_arg $ scale_arg $ out_arg)
+
+(* ---- topo-info ---- *)
+
+let topo_info_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Saved topology file.")
+  in
+  let run file =
+    match Topology.Serialize.load file with
+    | Error m -> `Error (false, m)
+    | Ok topo ->
+      let g = topo.Ts.graph in
+      Format.fprintf ppf "params: %a@." Ts.pp_params topo.Ts.params;
+      Format.fprintf ppf "nodes: %d  edges: %d  connected: %b@." (Graph.node_count g)
+        (Graph.edge_count g) (Graph.is_connected g);
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "topo-info" ~doc:"Inspect a saved topology file")
+    Term.(ret (const run $ file_arg))
+
+(* ---- nn-search ---- *)
+
+let nn_search_cmd =
+  let budget_arg =
+    Arg.(value & opt int 10 & info [ "budget" ] ~docv:"N" ~doc:"RTT measurement budget.")
+  in
+  let run variant latency seed scale budget =
+    let oracle = Workload.Ctx.oracle ~scale variant latency in
+    let n = Oracle.node_count oracle in
+    let rng = Rng.create seed in
+    let can = Can_overlay.create ~dims:2 0 in
+    for id = 1 to n - 1 do
+      ignore (Can_overlay.join can id (Geometry.Point.random rng 2))
+    done;
+    let lms = Landmarks.choose rng oracle 15 in
+    let vectors = Array.init n (fun node -> Landmarks.vector lms node) in
+    let all = Array.init n (fun i -> i) in
+    let query = Rng.int rng n in
+    let nearest, optimal = Search.true_nearest oracle ~query ~candidates:all in
+    Format.fprintf ppf "query node %d; true nearest %d at %.2f ms@." query nearest optimal;
+    let last name (c : Search.curve) =
+      let k = Array.length c.Search.dist - 1 in
+      Format.fprintf ppf "%-10s found %d at %.2f ms (stretch %.3f) with %d probes@." name
+        c.Search.found.(k) c.Search.dist.(k)
+        (c.Search.dist.(k) /. optimal)
+        (k + 1)
+    in
+    last "ers" (Search.ers_curve oracle can ~query ~budget);
+    last "landmark"
+      (Search.hybrid_curve oracle ~vector_of:(fun v -> vectors.(v)) ~candidates:all ~query ~budget:1);
+    last "hybrid"
+      (Search.hybrid_curve oracle ~vector_of:(fun v -> vectors.(v)) ~candidates:all ~query ~budget)
+  in
+  Cmd.v
+    (Cmd.info "nn-search" ~doc:"Run one nearest-neighbor search with all three algorithms")
+    Term.(const run $ variant_arg $ latency_arg $ seed_arg $ scale_arg $ budget_arg)
+
+(* ---- build ---- *)
+
+let build_cmd =
+  let strategy_arg =
+    let doc = "Neighbor selection: random, hybrid or optimal." in
+    let strat =
+      Arg.enum
+        [
+          ("random", Strategy.Random_pick);
+          ("hybrid", Strategy.hybrid ~rtts:10 ());
+          ("optimal", Strategy.Optimal);
+        ]
+    in
+    Arg.(value & opt strat (Strategy.hybrid ~rtts:10 ()) & info [ "strategy" ] ~docv:"S" ~doc)
+  in
+  let size_arg =
+    Arg.(value & opt int 1024 & info [ "nodes" ] ~docv:"N" ~doc:"Overlay size.")
+  in
+  let run verbose variant latency seed scale strategy size =
+    setup_logs verbose;
+    let oracle = Workload.Ctx.oracle ~scale variant latency in
+    let b =
+      Builder.build oracle
+        { Builder.default_config with Builder.overlay_size = size / scale; strategy; seed }
+    in
+    let r = Measure.route_stretch b in
+    Format.fprintf ppf "overlay: %d nodes, strategy %s@." (size / scale)
+      (Strategy.to_string strategy);
+    Format.fprintf ppf "stretch: %a@." Prelude.Stats.pp_summary r.Measure.stretch;
+    Format.fprintf ppf "hops:    %a@." Prelude.Stats.pp_summary r.Measure.hops;
+    Format.fprintf ppf "neighbor quality: %a@." Prelude.Stats.pp_summary
+      (Measure.neighbor_quality b)
+  in
+  Cmd.v
+    (Cmd.info "build" ~doc:"Build a topology-aware overlay and measure routing stretch")
+    Term.(
+      const run $ verbose_arg $ variant_arg $ latency_arg $ seed_arg $ scale_arg $ strategy_arg
+      $ size_arg)
+
+(* ---- churn ---- *)
+
+let churn_cmd =
+  let events_arg =
+    Arg.(value & opt int 100 & info [ "events" ] ~docv:"N" ~doc:"Number of leave+join events.")
+  in
+  let run verbose variant latency seed scale events =
+    setup_logs verbose;
+    let oracle = Workload.Ctx.oracle ~scale variant latency in
+    let sim = Engine.Sim.create () in
+    let b =
+      Builder.build
+        ~clock:(fun () -> Engine.Sim.now sim)
+        oracle
+        { Builder.default_config with Builder.overlay_size = 1024 / scale; seed }
+    in
+    let stretch () = (Measure.route_stretch ~pairs:512 b).Measure.stretch.Prelude.Stats.mean in
+    Format.fprintf ppf "before churn: stretch %.3f@." (stretch ());
+    let m = Core.Maintenance.start ~sim b in
+    Core.Maintenance.subscribe_all_slots m;
+    let rng = Rng.create (seed + 1) in
+    let can = Ecan.Expressway.can b.Core.Builder.ecan in
+    let member_set = Hashtbl.create 2048 in
+    Array.iter (fun x -> Hashtbl.replace member_set x ()) b.Core.Builder.members;
+    let next_fresh = ref 0 in
+    let fresh () =
+      while Hashtbl.mem member_set !next_fresh || Can_overlay.mem can !next_fresh do
+        incr next_fresh
+      done;
+      !next_fresh
+    in
+    for k = 1 to events do
+      ignore
+        (Engine.Sim.schedule sim
+           ~delay:(float_of_int k *. 500.0)
+           (fun () ->
+             let victim = Rng.pick rng (Can_overlay.node_ids can) in
+             Core.Maintenance.node_departs m victim;
+             Core.Maintenance.node_joins m (fresh ())))
+    done;
+    Engine.Sim.run ~until:(float_of_int (events + 4) *. 500.0) sim;
+    Core.Maintenance.stop m;
+    Format.fprintf ppf "after %d leave+join events with pub/sub repair: stretch %.3f@." events
+      (stretch ());
+    Format.fprintf ppf "re-selections performed: %d; refreshes: %d@."
+      (Core.Maintenance.reselections m)
+      (Core.Maintenance.refreshes m)
+  in
+  Cmd.v
+    (Cmd.info "churn" ~doc:"Subject an overlay to churn with pub/sub repair and report drift")
+    Term.(const run $ verbose_arg $ variant_arg $ latency_arg $ seed_arg $ scale_arg $ events_arg)
+
+let () =
+  let doc = "Topology-aware overlay construction using global soft-state (ICDCS 2003)" in
+  let info = Cmd.info "topoaware" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; experiment_cmd; gen_topology_cmd; topo_info_cmd; nn_search_cmd; build_cmd; churn_cmd ]))

@@ -1,0 +1,1 @@
+examples/adaptive_pubsub.ml: Array Can Core Ecan Engine Format List Prelude Pubsub Softstate Topology

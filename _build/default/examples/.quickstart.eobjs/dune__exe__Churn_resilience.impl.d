@@ -1,0 +1,1 @@
+examples/churn_resilience.ml: Array Can Core Ecan Engine Format Hashtbl List Prelude Topology

@@ -1,0 +1,1 @@
+examples/nearest_replica.ml: Array Can Format Geometry Landmark List Prelude Softstate Topology

@@ -1,0 +1,1 @@
+examples/nearest_replica.mli:

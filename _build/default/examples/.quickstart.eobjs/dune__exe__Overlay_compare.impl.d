@@ -1,0 +1,1 @@
+examples/overlay_compare.ml: Core Format Prelude Topology Workload

@@ -1,0 +1,1 @@
+examples/overlay_compare.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Format Prelude Topology

@@ -1,0 +1,103 @@
+(* Adaptive neighbor selection under load (paper §6, "other uses of
+   global state"): a QoS-conscious node subscribes not only to proximity
+   information but also to the load statistics of its chosen neighbor.
+   When the neighbor reports load above 80% of capacity, the
+   notification arrives over the overlay and the node re-selects,
+   trading a little network distance for available forwarding capacity.
+
+   Run with:  dune exec examples/adaptive_pubsub.exe *)
+
+module Ts = Topology.Transit_stub
+module Oracle = Topology.Oracle
+module Builder = Core.Builder
+module Strategy = Core.Strategy
+module Maintenance = Core.Maintenance
+module Bus = Pubsub.Bus
+module Store = Softstate.Store
+module Ecan_exp = Ecan.Expressway
+module Sim = Engine.Sim
+module Rng = Prelude.Rng
+
+let () =
+  let topo = Ts.generate (Rng.create 3) (Ts.tsk_large ~latency:Ts.Manual ~scale:16 ()) in
+  let oracle = Oracle.build topo in
+  let sim = Sim.create () in
+  let config =
+    {
+      Builder.default_config with
+      Builder.overlay_size = 200;
+      landmark_count = 10;
+      strategy = Strategy.hybrid ~rtts:8 ();
+    }
+  in
+  let overlay = Builder.build ~clock:(fun () -> Sim.now sim) oracle config in
+  let maintenance = Maintenance.start ~sim overlay in
+  let bus = Maintenance.bus maintenance in
+
+  (* Pick a watcher and the neighbor its first expressway slot points at. *)
+  let ecan = overlay.Builder.ecan in
+  let watcher, row, digit, neighbor =
+    let found = ref None in
+    Array.iter
+      (fun id ->
+        if !found = None then begin
+          match Ecan_exp.entries ecan id with
+          | (row, digit, target) :: _ -> found := Some (id, row, digit, target)
+          | [] -> ()
+        end)
+      (Can.Overlay.node_ids (Ecan_exp.can ecan));
+    match !found with Some x -> x | None -> failwith "no table entries"
+  in
+  let region = Ecan_exp.region_prefix ecan watcher ~row ~digit in
+  Format.printf "node %d watches its representative %d for region of %d members@." watcher
+    neighbor
+    (Array.length (Can.Overlay.members_with_prefix (Ecan_exp.can ecan) region));
+
+  (* QoS subscription: tell me when my neighbor runs above 80%% load. *)
+  let reselected = ref None in
+  let _sub =
+    Bus.subscribe bus ~subscriber:watcher ~region
+      ~condition:(Bus.Load_above { watched = neighbor; threshold = 0.8 })
+      ~handler:(fun n ->
+        (* re-select among region members the neighbor with the best
+           distance/load trade-off: closest one under 50% load *)
+        let candidates =
+          Store.region_entries overlay.Builder.store region
+          |> List.filter (fun (e : Store.Entry.t) ->
+                 e.Store.Entry.load < 0.5 && e.Store.Entry.node <> watcher)
+        in
+        let best =
+          List.fold_left
+            (fun best (e : Store.Entry.t) ->
+              let d = Oracle.measure oracle watcher e.Store.Entry.node in
+              match best with Some (bd, _) when bd <= d -> best | _ -> Some (d, e.Store.Entry.node))
+            None candidates
+        in
+        match best with
+        | Some (_, replacement) ->
+          Ecan_exp.set_entry ecan watcher ~row ~digit (Some replacement);
+          reselected := Some (replacement, n.Bus.delivered_at)
+        | None -> ())
+  in
+
+  (* Drive the neighbor's load up in steps; each step is published as a
+     soft-state update. *)
+  List.iteri
+    (fun i load ->
+      ignore
+        (Sim.schedule sim
+           ~delay:(float_of_int (i + 1) *. 1000.0)
+           (fun () -> Bus.update_load bus ~region ~node:neighbor ~load ~capacity:1.0)))
+    [ 0.3; 0.6; 0.85 ];
+  (* bounded: maintenance keeps periodic timers alive forever *)
+  Sim.run ~until:60_000.0 sim;
+
+  (match !reselected with
+  | Some (replacement, at) ->
+    Format.printf "load crossed 80%%: notification delivered at t=%.1f ms@." at;
+    Format.printf "node %d switched its representative %d -> %d@." watcher neighbor replacement;
+    let before = Oracle.dist oracle watcher neighbor in
+    let after = Oracle.dist oracle watcher replacement in
+    Format.printf "distance %.1f ms -> %.1f ms (traded for spare capacity)@." before after
+  | None -> Format.printf "no re-selection happened (unexpected)@.");
+  Maintenance.stop maintenance

@@ -1,0 +1,1 @@
+lib/can/overlay.ml: Array Float Format Geometry Hashtbl List Result

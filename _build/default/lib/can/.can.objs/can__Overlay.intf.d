@@ -1,0 +1,1 @@
+lib/can/overlay.mli: Geometry

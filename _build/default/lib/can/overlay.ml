@@ -1,0 +1,402 @@
+module Zone = Geometry.Zone
+module Point = Geometry.Point
+
+type node = {
+  id : int;
+  mutable zone : Zone.t;
+  mutable path : int array;
+  mutable neighbors : int list;
+}
+
+type t = {
+  dims : int;
+  nodes : (int, node) Hashtbl.t;
+  by_path : (int, int) Hashtbl.t;  (* exact path key -> owner id *)
+  prefix_members : (int, int list ref) Hashtbl.t;  (* prefix key -> member ids *)
+  mutable rep : int;  (* arbitrary live member, default routing start *)
+}
+
+let max_depth = 60
+
+(* A path (bit string, MSB first) encoded as an int with a leading
+   sentinel bit, so different lengths never collide. *)
+let path_key bits len =
+  let acc = ref 1 in
+  for i = 0 to len - 1 do
+    acc := (!acc lsl 1) lor bits.(i)
+  done;
+  !acc
+
+let zone_of_path ~dims bits =
+  let z = ref (Zone.full dims) in
+  Array.iteri
+    (fun depth b ->
+      let lower, upper = Zone.split !z (Zone.split_dim_at_depth dims depth) in
+      z := if b = 0 then lower else upper)
+    bits;
+  !z
+
+let index_add t n =
+  Hashtbl.replace t.by_path (path_key n.path (Array.length n.path)) n.id;
+  for len = 0 to Array.length n.path do
+    let key = path_key n.path len in
+    match Hashtbl.find_opt t.prefix_members key with
+    | Some l -> l := n.id :: !l
+    | None -> Hashtbl.replace t.prefix_members key (ref [ n.id ])
+  done
+
+let index_remove t n =
+  Hashtbl.remove t.by_path (path_key n.path (Array.length n.path));
+  for len = 0 to Array.length n.path do
+    let key = path_key n.path len in
+    match Hashtbl.find_opt t.prefix_members key with
+    | Some l ->
+      l := List.filter (fun id -> id <> n.id) !l;
+      if !l = [] then Hashtbl.remove t.prefix_members key
+    | None -> ()
+  done
+
+let create ~dims first =
+  if dims < 1 then invalid_arg "Can.create: dims must be >= 1";
+  let t =
+    {
+      dims;
+      nodes = Hashtbl.create 64;
+      by_path = Hashtbl.create 64;
+      prefix_members = Hashtbl.create 64;
+      rep = first;
+    }
+  in
+  let n = { id = first; zone = Zone.full dims; path = [||]; neighbors = [] } in
+  Hashtbl.replace t.nodes first n;
+  index_add t n;
+  t
+
+let dims t = t.dims
+let size t = Hashtbl.length t.nodes
+let mem t id = Hashtbl.mem t.nodes id
+let node t id = Hashtbl.find t.nodes id
+
+let node_ids t =
+  let arr = Array.make (size t) 0 in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun id _ ->
+      arr.(!i) <- id;
+      incr i)
+    t.nodes;
+  arr
+
+let path_bit ~dims zone depth point =
+  let dim = Zone.split_dim_at_depth dims depth in
+  let mid = (zone.Zone.lo.(dim) +. zone.Zone.hi.(dim)) /. 2.0 in
+  if point.(dim) >= mid then 1 else 0
+
+let path_of_point t ~depth point =
+  if Array.length point <> t.dims then invalid_arg "Can.path_of_point: dimension mismatch";
+  let zone = ref (Zone.full t.dims) in
+  Array.init depth (fun d ->
+    let b = path_bit ~dims:t.dims !zone d point in
+    let lower, upper = Zone.split !zone (Zone.split_dim_at_depth t.dims d) in
+    zone := if b = 0 then lower else upper;
+    b)
+
+let owner_of t point =
+  if Array.length point <> t.dims then invalid_arg "Can.owner_of: dimension mismatch";
+  let zone = ref (Zone.full t.dims) in
+  let bits = Array.make max_depth 0 in
+  let rec descend depth =
+    if depth > max_depth then failwith "Can.owner_of: tree deeper than max_depth"
+    else begin
+      match Hashtbl.find_opt t.by_path (path_key bits depth) with
+      | Some id -> id
+      | None ->
+        let b = path_bit ~dims:t.dims !zone depth point in
+        let lower, upper = Zone.split !zone (Zone.split_dim_at_depth t.dims depth) in
+        zone := if b = 0 then lower else upper;
+        bits.(depth) <- b;
+        descend (depth + 1)
+    end
+  in
+  descend 0
+
+let route t ~src point =
+  if Array.length point <> t.dims then invalid_arg "Can.route: dimension mismatch";
+  let visited = Hashtbl.create 32 in
+  let rec go u acc =
+    if Zone.contains u.zone point then Some (List.rev (u.id :: acc))
+    else begin
+      Hashtbl.replace visited u.id ();
+      let best = ref None in
+      let consider id =
+        if not (Hashtbl.mem visited id) then begin
+          let v = node t id in
+          let d = Zone.min_torus_dist v.zone point in
+          match !best with
+          | Some (bd, bid, _) when (bd, bid) <= (d, id) -> ()
+          | _ -> best := Some (d, id, v)
+        end
+      in
+      List.iter consider u.neighbors;
+      match !best with
+      | None -> None
+      | Some (_, _, v) -> go v (u.id :: acc)
+    end
+  in
+  go (node t src) []
+
+let route_proximity t ~dist ~src point =
+  if Array.length point <> t.dims then invalid_arg "Can.route_proximity: dimension mismatch";
+  let visited = Hashtbl.create 32 in
+  let rec go u acc =
+    if Zone.contains u.zone point then Some (List.rev (u.id :: acc))
+    else begin
+      Hashtbl.replace visited u.id ();
+      let here = Zone.min_torus_dist u.zone point in
+      (* Among neighbors strictly closer to the target, maximise geometric
+         progress per unit of physical latency (the classic CAN
+         proximity-forwarding metric); otherwise fall back to the
+         geometrically closest unvisited neighbor. *)
+      let best_proximal = ref None and best_greedy = ref None in
+      List.iter
+        (fun id ->
+          if not (Hashtbl.mem visited id) then begin
+            let v = node t id in
+            let zd = Zone.min_torus_dist v.zone point in
+            (if zd < here then begin
+               let pd = Float.max 1e-9 (dist u.id id) in
+               let ratio = (here -. zd) /. pd in
+               match !best_proximal with
+               | Some (br, bid, _) when (br, -bid) >= (ratio, -id) -> ()
+               | _ -> best_proximal := Some (ratio, id, v)
+             end);
+            match !best_greedy with
+            | Some (bd, bid, _) when (bd, bid) <= (zd, id) -> ()
+            | _ -> best_greedy := Some (zd, id, v)
+          end)
+        u.neighbors;
+      match (!best_proximal, !best_greedy) with
+      | Some (_, _, v), _ -> go v (u.id :: acc)
+      | None, Some (_, _, v) -> go v (u.id :: acc)
+      | None, None -> None
+    end
+  in
+  go (node t src) []
+
+let unlink t a b =
+  let na = node t a and nb = node t b in
+  na.neighbors <- List.filter (fun id -> id <> b) na.neighbors;
+  nb.neighbors <- List.filter (fun id -> id <> a) nb.neighbors
+
+let link a b =
+  a.neighbors <- b.id :: a.neighbors;
+  b.neighbors <- a.id :: b.neighbors
+
+let join t ?start id point =
+  if mem t id then invalid_arg "Can.join: node already a member";
+  if Array.length point <> t.dims then invalid_arg "Can.join: dimension mismatch";
+  let start = match start with Some s -> s | None -> t.rep in
+  let hops =
+    match route t ~src:start point with
+    | Some hops -> hops
+    | None -> failwith "Can.join: routing failed"
+  in
+  let owner = node t (List.nth hops (List.length hops - 1)) in
+  let depth = Array.length owner.path in
+  if depth >= max_depth then failwith "Can.join: max split depth exceeded";
+  let lower, upper = Zone.split owner.zone (Zone.split_dim_at_depth t.dims depth) in
+  let bit = path_bit ~dims:t.dims owner.zone depth point in
+  let new_zone, old_zone = if bit = 1 then (upper, lower) else (lower, upper) in
+  index_remove t owner;
+  let old_neighbor_ids = owner.neighbors in
+  List.iter (fun c -> unlink t owner.id c) old_neighbor_ids;
+  owner.zone <- old_zone;
+  owner.path <- Array.append owner.path [| 1 - bit |];
+  index_add t owner;
+  let newcomer = { id; zone = new_zone; path = Array.append (Array.sub owner.path 0 depth) [| bit |]; neighbors = [] } in
+  Hashtbl.replace t.nodes id newcomer;
+  index_add t newcomer;
+  List.iter
+    (fun cid ->
+      let c = node t cid in
+      if Zone.is_neighbor c.zone owner.zone then link c owner;
+      if Zone.is_neighbor c.zone newcomer.zone then link c newcomer)
+    old_neighbor_ids;
+  link owner newcomer;
+  hops
+
+(* Merge leaf [child] into its sibling leaf [sibling]: the sibling absorbs
+   the parent zone. *)
+let merge_siblings t sibling child =
+  let parent_path = Array.sub sibling.path 0 (Array.length sibling.path - 1) in
+  let parent_zone = zone_of_path ~dims:t.dims parent_path in
+  let candidates =
+    List.filter
+      (fun cid -> cid <> sibling.id && cid <> child.id)
+      (List.sort_uniq compare (sibling.neighbors @ child.neighbors))
+  in
+  List.iter (fun cid -> unlink t sibling.id cid) sibling.neighbors;
+  List.iter (fun cid -> unlink t child.id cid) (node t child.id).neighbors;
+  sibling.neighbors <- [];
+  child.neighbors <- [];
+  index_remove t sibling;
+  sibling.zone <- parent_zone;
+  sibling.path <- parent_path;
+  index_add t sibling;
+  List.iter
+    (fun cid ->
+      let c = node t cid in
+      if Zone.is_neighbor c.zone sibling.zone then link c sibling)
+    candidates
+
+let deepest_node t ~excluding =
+  let best = ref None in
+  Hashtbl.iter
+    (fun id n ->
+      if id <> excluding then begin
+        let d = Array.length n.path in
+        match !best with
+        | Some (bd, bid) when (bd, -bid) >= (d, -id) -> ()
+        | _ -> best := Some (d, id)
+      end)
+    t.nodes;
+  match !best with Some (_, id) -> Some (node t id) | None -> None
+
+let sibling_of t n =
+  let len = Array.length n.path in
+  if len = 0 then None
+  else begin
+    let bits = Array.copy n.path in
+    bits.(len - 1) <- 1 - bits.(len - 1);
+    match Hashtbl.find_opt t.by_path (path_key bits len) with
+    | Some id -> Some (node t id)
+    | None -> None
+  end
+
+type leave_effect = { survivor : int; backfilled : int option }
+
+let leave t id =
+  let x = node t id in
+  let finish_removal () =
+    Hashtbl.remove t.nodes id;
+    if t.rep = id then
+      Hashtbl.iter (fun nid _ -> t.rep <- nid) t.nodes
+  in
+  if size t = 1 then begin
+    index_remove t x;
+    finish_removal ();
+    { survivor = id; backfilled = None }
+  end
+  else begin
+    (* Find the deepest member other than x; its sibling zone is
+       necessarily a single leaf (or is x itself). *)
+    let m =
+      match deepest_node t ~excluding:id with
+      | Some m -> m
+      | None -> assert false
+    in
+    if Array.length m.path <= Array.length x.path then begin
+      (* x is (one of) the deepest: merge x into its own sibling leaf. *)
+      match sibling_of t x with
+      | Some s ->
+        merge_siblings t s x;
+        index_remove t x;
+        finish_removal ();
+        { survivor = s.id; backfilled = None }
+      | None -> failwith "Can.leave: inconsistent tree (deepest leaf has no sibling)"
+    end
+    else begin
+      match sibling_of t m with
+      | Some s when s.id = id ->
+        (* x happens to be the deepest pair's sibling: merge m over x. *)
+        merge_siblings t m x;
+        index_remove t x;
+        finish_removal ();
+        { survivor = m.id; backfilled = None }
+      | Some s ->
+        (* Free m by merging it into its sibling, then m backfills x.  The
+           merge also fixes x's own neighbor list (the x-m link dies, an
+           x-s link may appear), so snapshot x's neighbors only after. *)
+        merge_siblings t s m;
+        let x_neighbors = x.neighbors in
+        List.iter (fun cid -> unlink t x.id cid) x_neighbors;
+        index_remove t x;
+        index_remove t m;
+        m.zone <- x.zone;
+        m.path <- x.path;
+        index_add t m;
+        List.iter
+          (fun cid ->
+            let c = node t cid in
+            link c m)
+          (List.filter (fun cid -> cid <> m.id) x_neighbors);
+        x.neighbors <- [];
+        finish_removal ();
+        { survivor = s.id; backfilled = Some m.id }
+      | None -> failwith "Can.leave: inconsistent tree (deepest node has no sibling)"
+    end
+  end
+
+let members_with_prefix t bits =
+  match Hashtbl.find_opt t.prefix_members (path_key bits (Array.length bits)) with
+  | Some l -> Array.of_list !l
+  | None -> [||]
+
+let check_invariants t =
+  let ( let* ) r f = Result.bind r f in
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let all = node_ids t in
+  let* () =
+    (* Zones match paths and tile the space. *)
+    Array.fold_left
+      (fun acc id ->
+        let* () = acc in
+        let n = node t id in
+        if Zone.equal n.zone (zone_of_path ~dims:t.dims n.path) then Ok ()
+        else err "node %d: zone does not match path" id)
+      (Ok ()) all
+  in
+  let total = Array.fold_left (fun acc id -> acc +. Zone.volume (node t id).zone) 0.0 all in
+  let* () =
+    if Float.abs (total -. 1.0) < 1e-9 then Ok ()
+    else err "zone volumes sum to %.12f, not 1" total
+  in
+  let* () =
+    (* Neighbor lists: symmetric, geometrically right, and complete. *)
+    Array.fold_left
+      (fun acc id ->
+        let* () = acc in
+        let n = node t id in
+        let* () =
+          List.fold_left
+            (fun acc cid ->
+              let* () = acc in
+              let c = node t cid in
+              if not (List.mem id c.neighbors) then err "asymmetric neighbors %d/%d" id cid
+              else if not (Zone.is_neighbor n.zone c.zone) then
+                err "nodes %d/%d listed but not adjacent" id cid
+              else Ok ())
+            (Ok ()) n.neighbors
+        in
+        Array.fold_left
+          (fun acc other ->
+            let* () = acc in
+            if other <> id && Zone.is_neighbor n.zone (node t other).zone
+               && not (List.mem other n.neighbors)
+            then err "nodes %d/%d adjacent but not listed" id other
+            else Ok ())
+          (Ok ()) all)
+      (Ok ()) all
+  in
+  let* () =
+    (* Prefix index agrees with the node set. *)
+    Array.fold_left
+      (fun acc id ->
+        let* () = acc in
+        let n = node t id in
+        let members = members_with_prefix t n.path in
+        if Array.exists (fun m -> m = id) members then Ok ()
+        else err "node %d missing from its own prefix set" id)
+      (Ok ()) all
+  in
+  Ok ()

@@ -1,0 +1,95 @@
+(** CAN: content-addressable network over the unit torus.
+
+    Every member node owns exactly one zone; the zones tile the space.
+    Zones form a binary split tree (split dimension cycles with depth), so
+    every zone is identified by its {e path} — the bit string of split
+    decisions from the full space down to the zone.  Paths double as the
+    prefix scheme eCAN builds its high-order zones on.
+
+    The structure is a simulator-global view: node ids are the underlying
+    physical node ids, and operations mutate shared state directly, but
+    [join] and [route] walk the overlay hop by hop so logical path lengths
+    are faithful. *)
+
+type node = private {
+  id : int;
+  mutable zone : Geometry.Zone.t;
+  mutable path : int array;  (** split bits, root to leaf *)
+  mutable neighbors : int list;  (** ids of CAN neighbors, unordered *)
+}
+
+type t
+
+val max_depth : int
+(** Zone paths are capped at 60 bits; a join that would split deeper
+    raises. *)
+
+val create : dims:int -> int -> t
+(** [create ~dims first] starts an overlay whose sole member [first] owns
+    the entire space. *)
+
+val dims : t -> int
+val size : t -> int
+
+val mem : t -> int -> bool
+val node : t -> int -> node
+(** Raises [Not_found] for non-members. *)
+
+val node_ids : t -> int array
+(** Current members, in unspecified order. *)
+
+val owner_of : t -> Geometry.Point.t -> int
+(** The member whose zone contains the point (O(depth), via the split
+    tree — no routing). *)
+
+val join : t -> ?start:int -> int -> Geometry.Point.t -> int list
+(** [join t ~start id p]: new member [id] picks point [p], the overlay
+    routes from [start] (default: the first member) to the owner of [p],
+    whose zone splits; the newcomer takes the half containing [p].
+    Returns the logical route walked (node ids, start to old owner).
+    Raises [Invalid_argument] if [id] is already a member. *)
+
+type leave_effect = {
+  survivor : int;  (** node whose zone grew by the merge *)
+  backfilled : int option;
+      (** node relocated into the vacated zone ([None] when the leaver's
+          own sibling absorbed it directly) *)
+}
+
+val leave : t -> int -> leave_effect
+(** Remove a member.  The vacated zone is taken over CAN-style: the
+    deepest leaf pair of the tree merges and the freed node backfills the
+    vacated zone (one-zone-per-node is preserved).  O(size).  The returned
+    effect names the nodes whose zones (and hence routing state) changed,
+    so higher layers can rebuild their tables. *)
+
+val route : t -> src:int -> Geometry.Point.t -> int list option
+(** Greedy routing from [src] to the owner of a point.  Returns the hop
+    list including both endpoints ([None] only if greedy forwarding fails,
+    which does not happen on consistent state).  Each hop goes to the
+    neighbor whose zone is closest to the target on the torus. *)
+
+val route_proximity :
+  t -> dist:(int -> int -> float) -> src:int -> Geometry.Point.t -> int list option
+(** {e Proximity routing} (Castro et al.'s second category, evaluated in
+    the taxonomy ablation): the overlay is built topology-blind, but each
+    hop picks the {e physically closest} neighbor among those that make
+    geometric progress toward the target ([dist u v] is the physical
+    latency between nodes).  Falls back to plain greedy when no
+    progressing neighbor exists. *)
+
+val path_of_point : t -> depth:int -> Geometry.Point.t -> int array
+(** First [depth] split bits of the point's location — the target "digit
+    string" used by eCAN expressway routing. *)
+
+val zone_of_path : dims:int -> int array -> Geometry.Zone.t
+(** The dyadic box a path denotes. *)
+
+val members_with_prefix : t -> int array -> int array
+(** Members whose path starts with the given bits (the population of a
+    high-order zone).  O(result). *)
+
+val check_invariants : t -> (unit, string) result
+(** Testing hook: zones tile the space (volumes sum to 1, paths form an
+    exact prefix-free tree cover), every node's zone matches its path,
+    neighbor lists are symmetric and geometrically correct. *)

@@ -1,0 +1,1 @@
+lib/chord/ring.ml: Array Format Hashtbl List Prelude Result Seq

@@ -1,0 +1,1 @@
+lib/chord/ring.mli: Prelude

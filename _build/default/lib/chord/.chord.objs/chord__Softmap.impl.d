@@ -1,0 +1,1 @@
+lib/chord/softmap.ml: Array Hashtbl Landmark List Ring

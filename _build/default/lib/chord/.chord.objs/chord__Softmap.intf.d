@@ -1,0 +1,1 @@
+lib/chord/softmap.mli: Landmark Ring

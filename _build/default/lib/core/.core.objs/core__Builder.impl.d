@@ -1,0 +1,1 @@
+lib/core/builder.ml: Array Can Ecan Geometry Hashtbl Landmark List Logs Option Prelude Softstate Strategy Topology

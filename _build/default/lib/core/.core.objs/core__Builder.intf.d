@@ -1,0 +1,1 @@
+lib/core/builder.mli: Ecan Hashtbl Landmark Prelude Softstate Strategy Topology

@@ -1,0 +1,1 @@
+lib/core/maintenance.ml: Array Builder Can Ecan Engine Geometry Hashtbl Landmark List Logs Measure Option Pubsub Softstate Topology

@@ -1,0 +1,1 @@
+lib/core/maintenance.mli: Builder Engine Pubsub

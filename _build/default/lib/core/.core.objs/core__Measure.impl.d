@@ -1,0 +1,1 @@
+lib/core/measure.ml: Array Builder Can Ecan Geometry List Prelude Topology

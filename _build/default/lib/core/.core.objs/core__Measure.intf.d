@@ -1,0 +1,1 @@
+lib/core/measure.mli: Builder Prelude Topology

@@ -1,0 +1,208 @@
+module Rng = Prelude.Rng
+module Oracle = Topology.Oracle
+module Can_overlay = Can.Overlay
+module Ecan_exp = Ecan.Expressway
+module Store = Softstate.Store
+module Landmarks = Landmark.Landmarks
+module Number = Landmark.Number
+module Point = Geometry.Point
+
+let log_src = Logs.Src.create "topo.builder" ~doc:"Topology-aware overlay construction"
+
+module Log = (val Logs.src_log log_src)
+
+type config = {
+  dims : int;
+  span_bits : int;
+  overlay_size : int;
+  landmark_count : int;
+  strategy : Strategy.t;
+  condense : float;
+  curve : Landmark.Number.curve;
+  index_dims : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    dims = 2;
+    span_bits = 2;
+    overlay_size = 4096;
+    landmark_count = 15;
+    strategy = Strategy.hybrid ~rtts:10 ();
+    condense = 1.0;
+    curve = Number.Hilbert_curve;
+    index_dims = 3;
+    seed = 42;
+  }
+
+type t = {
+  config : config;
+  oracle : Oracle.t;
+  ecan : Ecan_exp.t;
+  store : Store.t;
+  landmarks : Landmarks.t;
+  scheme : Number.scheme;
+  members : int array;
+  vectors : (int, float array) Hashtbl.t;
+  rng : Rng.t;
+}
+
+let vector_of t node = Hashtbl.find t.vectors node
+
+(* Common shape of the soft-state strategies: one map lookup, then at most
+   [rtts] RTT probes, choosing the candidate minimising [score]. *)
+let lookup_probe_selector t ~rtts ~lookup_results ~lookup_ttl ~score : Ecan_exp.selector =
+ fun ~node ~region ~candidates ->
+  let vector = vector_of t node in
+  let entries =
+    Store.lookup t.store ~region ~vector ~max_results:lookup_results ~ttl:lookup_ttl ()
+  in
+  let probes =
+    List.filteri (fun i _ -> i < rtts)
+      (List.filter (fun (e : Store.Entry.t) -> e.Store.Entry.node <> node) entries)
+  in
+  match probes with
+  | [] ->
+    (* An empty map (nothing published yet, or over-condensed past the
+       lookup's TTL reach): degrade to a blind pick. *)
+    Some (Rng.pick t.rng candidates)
+  | probes ->
+    let best = ref None in
+    List.iter
+      (fun (e : Store.Entry.t) ->
+        let rtt = Oracle.measure t.oracle node e.Store.Entry.node in
+        let s = score ~rtt ~entry:e in
+        match !best with
+        | Some (bs, _) when bs <= s -> ()
+        | _ -> best := Some (s, e.Store.Entry.node))
+      probes;
+    (match !best with Some (_, n) -> Some n | None -> None)
+
+let selector t strategy : Ecan_exp.selector =
+  match strategy with
+  | Strategy.Random_pick ->
+    fun ~node:_ ~region:_ ~candidates -> Some (Rng.pick t.rng candidates)
+  | Strategy.Optimal ->
+    fun ~node ~region:_ ~candidates ->
+      (match Oracle.nearest t.oracle node candidates with
+      | Some (best, _) -> Some best
+      | None -> None)
+  | Strategy.Hybrid { rtts; lookup_results; lookup_ttl } ->
+    lookup_probe_selector t ~rtts ~lookup_results ~lookup_ttl ~score:(fun ~rtt ~entry:_ -> rtt)
+  | Strategy.Load_aware { rtts; lookup_results; lookup_ttl; load_weight } ->
+    lookup_probe_selector t ~rtts ~lookup_results ~lookup_ttl ~score:(fun ~rtt ~entry ->
+        rtt *. (1.0 +. (load_weight *. entry.Store.Entry.load)))
+
+let build ?(clock = fun () -> 0.0) oracle config =
+  if config.overlay_size < 1 then invalid_arg "Builder.build: overlay_size must be >= 1";
+  if config.overlay_size > Oracle.node_count oracle then
+    invalid_arg "Builder.build: overlay larger than the topology";
+  if config.landmark_count < config.index_dims then
+    invalid_arg "Builder.build: need at least index_dims landmarks";
+  let rng = Rng.create config.seed in
+  let member_rng = Rng.split rng in
+  let join_rng = Rng.split rng in
+  let landmark_rng = Rng.split rng in
+  let all = Array.init (Oracle.node_count oracle) (fun i -> i) in
+  let members = Rng.sample member_rng config.overlay_size all in
+  let can = Can_overlay.create ~dims:config.dims members.(0) in
+  for i = 1 to Array.length members - 1 do
+    ignore (Can_overlay.join can members.(i) (Point.random join_rng config.dims))
+  done;
+  let ecan = Ecan_exp.create ~span_bits:config.span_bits can in
+  let landmarks = Landmarks.choose landmark_rng oracle config.landmark_count in
+  let max_latency = Number.calibrate_max_latency oracle (Landmarks.nodes landmarks) in
+  let scheme =
+    { (Number.default_scheme ~curve:config.curve ~max_latency ()) with
+      Number.index_dims = min config.index_dims config.landmark_count }
+  in
+  let store = Store.create ~condense:config.condense ~clock ~scheme can in
+  let vectors = Hashtbl.create (Array.length members) in
+  Array.iter
+    (fun node ->
+      let vector = Landmarks.vector landmarks node in
+      Hashtbl.replace vectors node vector;
+      Store.publish_all store ~span_bits:config.span_bits ~node ~vector)
+    members;
+  let t = { config; oracle; ecan; store; landmarks; scheme; members; vectors; rng } in
+  Ecan_exp.build_tables ecan ~selector:(selector t config.strategy);
+  Log.info (fun m ->
+      m "built overlay: %d members, %d landmarks, strategy %s" (Array.length members)
+        config.landmark_count
+        (Strategy.to_string config.strategy));
+  t
+
+let rebuild_tables t strategy =
+  Ecan_exp.build_tables t.ecan ~selector:(selector t strategy)
+
+let join_node t node =
+  let can = Ecan_exp.can t.ecan in
+  let vector = Landmarks.vector t.landmarks node in
+  Hashtbl.replace t.vectors node vector;
+  ignore (Can_overlay.join can node (Point.random t.rng t.config.dims));
+  Store.rehost t.store;
+  Store.publish_all t.store ~span_bits:t.config.span_bits ~node ~vector;
+  Ecan_exp.build_table_for t.ecan ~selector:(selector t t.config.strategy) node;
+  Log.debug (fun m -> m "node %d joined" node)
+
+(* Table slots whose entry targets one of the relocated nodes but whose
+   region no longer contains that target (zone takeover moves nodes). *)
+let stale_slots t relocated =
+  let can = Ecan_exp.can t.ecan in
+  let in_region region target =
+    let path = (Can_overlay.node can target).Can_overlay.path in
+    Array.length path >= Array.length region
+    && Array.for_all2 ( = ) region (Array.sub path 0 (Array.length region))
+  in
+  Array.fold_left
+    (fun acc id ->
+      List.fold_left
+        (fun acc (row, digit, target) ->
+          if List.mem target relocated then begin
+            let region = Ecan_exp.region_prefix t.ecan id ~row ~digit in
+            if in_region region target then acc else (id, row, digit) :: acc
+          end
+          else acc)
+        acc (Ecan_exp.entries t.ecan id))
+    [] (Can_overlay.node_ids can)
+
+let clear_stale_entries t relocated =
+  List.iter
+    (fun (id, row, digit) -> Ecan_exp.set_entry t.ecan id ~row ~digit None)
+    (stale_slots t relocated)
+
+let leave_node t node =
+  let can = Ecan_exp.can t.ecan in
+  Store.unpublish_everywhere t.store node;
+  let effect = Can_overlay.leave can node in
+  Hashtbl.remove t.vectors node;
+  Store.rehost t.store;
+  (* Clear dangling expressway entries that pointed at the departed node;
+     re-selection is pub/sub's job. *)
+  Array.iter
+    (fun id ->
+      List.iter
+        (fun (row, digit, target) ->
+          if target = node then Ecan_exp.set_entry t.ecan id ~row ~digit None)
+        (Ecan_exp.entries t.ecan id))
+    (Can_overlay.node_ids can);
+  (* The takeover changed two nodes' zones; their tables must follow. *)
+  let selector = selector t t.config.strategy in
+  let rebuild id =
+    if id <> node && Can_overlay.mem can id then begin
+      Store.unpublish_everywhere t.store id;
+      Store.publish_all t.store ~span_bits:t.config.span_bits ~node:id
+        ~vector:(vector_of t id);
+      Ecan_exp.build_table_for t.ecan ~selector id
+    end
+  in
+  rebuild effect.Can_overlay.survivor;
+  Option.iter rebuild effect.Can_overlay.backfilled;
+  (* Entries elsewhere that pointed at the relocated nodes may now
+     reference the wrong region; clear them (pub/sub re-selects). *)
+  clear_stale_entries t
+    (effect.Can_overlay.survivor :: Option.to_list effect.Can_overlay.backfilled);
+  Log.debug (fun m ->
+      m "node %d left (survivor %d, backfilled %s)" node effect.Can_overlay.survivor
+        (match effect.Can_overlay.backfilled with Some b -> string_of_int b | None -> "-"))

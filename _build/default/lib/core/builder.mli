@@ -1,0 +1,67 @@
+(** Construction of a topology-aware overlay over a physical topology.
+
+    [build] performs the paper's whole pipeline: sample the overlay
+    membership, grow the CAN/eCAN by successive joins, pick landmarks,
+    measure every member's landmark vector, publish all members into the
+    global soft-state maps, and fill the expressway routing tables with
+    the configured neighbor-selection strategy. *)
+
+type config = {
+  dims : int;  (** CAN dimensionality (paper default 2) *)
+  span_bits : int;  (** eCAN digit width, k = 2^span_bits zones per higher order *)
+  overlay_size : int;  (** number of overlay members *)
+  landmark_count : int;
+  strategy : Strategy.t;
+  condense : float;  (** map condense/reduction rate *)
+  curve : Landmark.Number.curve;  (** space-filling curve for landmark numbers *)
+  index_dims : int;  (** landmark-vector-index components *)
+  seed : int;
+}
+
+val default_config : config
+(** Table 2 defaults: 2-d eCAN, span 2, 4096 members, 15 landmarks,
+    [Hybrid {rtts = 10}], condense 1.0, Hilbert, index_dims 3, seed 42. *)
+
+type t = {
+  config : config;
+  oracle : Topology.Oracle.t;
+  ecan : Ecan.Expressway.t;
+  store : Softstate.Store.t;
+  landmarks : Landmark.Landmarks.t;
+  scheme : Landmark.Number.scheme;
+  members : int array;  (** overlay member node ids (physical ids) *)
+  vectors : (int, float array) Hashtbl.t;  (** member -> landmark vector *)
+  rng : Prelude.Rng.t;  (** generator for post-build sampling *)
+}
+
+val build : ?clock:(unit -> float) -> Topology.Oracle.t -> config -> t
+(** Build the overlay.  Raises [Invalid_argument] if [overlay_size]
+    exceeds the topology size or parameters are out of range.  [clock]
+    feeds the soft-state store (defaults to a frozen clock). *)
+
+val vector_of : t -> int -> float array
+(** Landmark vector of a member.  Raises [Not_found] for non-members. *)
+
+val selector : t -> Strategy.t -> Ecan.Expressway.selector
+(** The eCAN selector implementing a strategy against this overlay's
+    soft-state and oracle (exposed so tables can be rebuilt under a
+    different strategy without reconstructing the overlay). *)
+
+val rebuild_tables : t -> Strategy.t -> unit
+(** Re-run neighbor selection for every member under a new strategy. *)
+
+val join_node : t -> int -> unit
+(** Dynamic join of a fresh physical node: measures its landmark vector,
+    inserts it into the CAN at a random point, publishes its soft state
+    and builds its routing table under [t.config.strategy].  Existing
+    entries are rehosted to reflect the new zone map. *)
+
+val stale_slots : t -> int list -> (int * int * int) list
+(** Table slots [(node, row, digit)] whose entry targets one of the given
+    relocated members but whose region no longer contains that target —
+    the residue a zone takeover leaves in other nodes' tables. *)
+
+val leave_node : t -> int -> unit
+(** Dynamic departure (proactive policy): retract soft state, remove from
+    the CAN, rehost the remaining entries and clear dangling table
+    entries. *)

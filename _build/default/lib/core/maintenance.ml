@@ -1,0 +1,243 @@
+module Sim = Engine.Sim
+module Bus = Pubsub.Bus
+module Store = Softstate.Store
+module Oracle = Topology.Oracle
+module Can_overlay = Can.Overlay
+module Ecan_exp = Ecan.Expressway
+module Zone = Geometry.Zone
+
+let log_src = Logs.Src.create "topo.maintenance" ~doc:"Soft-state upkeep and pub/sub repair"
+
+module Log = (val Logs.src_log log_src)
+
+type t = {
+  builder : Builder.t;
+  sim : Sim.t;
+  bus : Bus.t;
+  mutable timers : Sim.timer list;
+  slot_subs : (int * int * int, Bus.subscription list) Hashtbl.t;
+  mutable reselections : int;
+  mutable refreshes : int;
+  mutable stopped : bool;
+}
+
+let overlay_latency builder ~host ~subscriber =
+  let ecan = builder.Builder.ecan in
+  let can = Ecan_exp.can ecan in
+  if host < 0 || (not (Can_overlay.mem can host)) || not (Can_overlay.mem can subscriber) then 0.0
+  else begin
+    let target = Zone.center (Can_overlay.node can subscriber).Can_overlay.zone in
+    match Ecan_exp.route ecan ~src:host target with
+    | Some hops -> Measure.path_latency builder.Builder.oracle hops
+    | None -> Oracle.dist builder.Builder.oracle host subscriber
+  end
+
+let refresh_all t =
+  let store = t.builder.Builder.store in
+  Array.iter
+    (fun node ->
+      List.iter
+        (fun region ->
+          Store.refresh store ~region ~node;
+          t.refreshes <- t.refreshes + 1)
+        (Store.regions_of store node))
+    (Can_overlay.node_ids (Ecan_exp.can t.builder.Builder.ecan))
+
+let start ~sim ?(refresh_period = 200_000.0) ?(sweep_period = 100_000.0) builder =
+  let bus =
+    Bus.create ~sim ~latency:(fun ~host ~subscriber -> overlay_latency builder ~host ~subscriber)
+      builder.Builder.store
+  in
+  let t =
+    {
+      builder;
+      sim;
+      bus;
+      timers = [];
+      slot_subs = Hashtbl.create 256;
+      reselections = 0;
+      refreshes = 0;
+      stopped = false;
+    }
+  in
+  let refresh_timer = Sim.every sim ~period:refresh_period (fun () -> refresh_all t) in
+  let sweep_timer =
+    Sim.every sim ~period:sweep_period (fun () -> ignore (Store.expire_sweep builder.Builder.store))
+  in
+  t.timers <- [ refresh_timer; sweep_timer ];
+  t
+
+let bus t = t.bus
+
+let reselections t = t.reselections
+let refreshes t = t.refreshes
+
+let drop_slot_subs t key =
+  match Hashtbl.find_opt t.slot_subs key with
+  | Some subs ->
+    List.iter (Bus.unsubscribe t.bus) subs;
+    Hashtbl.remove t.slot_subs key
+  | None -> ()
+
+let stop t =
+  t.stopped <- true;
+  List.iter Sim.cancel t.timers;
+  t.timers <- [];
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.slot_subs [] in
+  List.iter (drop_slot_subs t) keys
+
+(* Re-run selection for one slot and renew its subscriptions. *)
+let rec reselect_slot t ~node ~row ~digit =
+  if not t.stopped then begin
+    let ecan = t.builder.Builder.ecan in
+    let can = Ecan_exp.can ecan in
+    if Can_overlay.mem can node && row < Ecan_exp.rows ecan node
+       && digit <> Ecan_exp.own_digit ecan node ~row
+    then begin
+      let region = Ecan_exp.region_prefix ecan node ~row ~digit in
+      let candidates = Can_overlay.members_with_prefix can region in
+      let choice =
+        if Array.length candidates = 0 then None
+        else
+          (Builder.selector t.builder t.builder.Builder.config.Builder.strategy)
+            ~node ~region ~candidates
+      in
+      Ecan_exp.set_entry ecan node ~row ~digit choice;
+      t.reselections <- t.reselections + 1;
+      Log.debug (fun m ->
+          m "reselected slot (%d,%d,%d) -> %s" node row digit
+            (match choice with Some c -> string_of_int c | None -> "-"));
+      watch_slot t ~node ~row ~digit
+    end
+  end
+
+(* Subscribe the slot's owner to its region: a strictly closer newcomer in
+   landmark space, or the departure of the current representative, both
+   trigger re-selection. *)
+and watch_slot t ~node ~row ~digit =
+  let key = (node, row, digit) in
+  drop_slot_subs t key;
+  let ecan = t.builder.Builder.ecan in
+  if row < Ecan_exp.rows ecan node && digit <> Ecan_exp.own_digit ecan node ~row then begin
+    let region = Ecan_exp.region_prefix ecan node ~row ~digit in
+    let vector = Builder.vector_of t.builder node in
+    let handler _ = reselect_slot t ~node ~row ~digit in
+    let subs =
+      match Ecan_exp.entry ecan node ~row ~digit with
+      | Some target ->
+        let current = Oracle.dist t.builder.Builder.oracle node target in
+        (* Landmark-space proxy for "closer than my current neighbor":
+           entries whose vector sits within the current physical distance
+           of mine.  Conservative (may over-notify), never misses. *)
+        [
+          Bus.subscribe t.bus ~subscriber:node ~region
+            ~condition:(Bus.Closer_than (vector, current)) ~handler;
+          Bus.subscribe t.bus ~subscriber:node ~region ~condition:(Bus.Departure_of target)
+            ~handler;
+        ]
+      | None ->
+        [ Bus.subscribe t.bus ~subscriber:node ~region ~condition:Bus.Any_new_entry ~handler ]
+    in
+    Hashtbl.replace t.slot_subs key subs
+  end
+
+let enable_liveness_polling t ?(period = 300_000.0) ~is_alive () =
+  let poll () =
+    (* Owners poll the liveliness of the nodes their entries describe;
+       dead ones are retracted through the bus so departure watchers
+       fire (the paper's middle maintenance policy). *)
+    List.iter
+      (fun node -> if not (is_alive node) then Bus.depart t.bus ~node)
+      (Store.described_nodes t.builder.Builder.store)
+  in
+  let timer = Sim.every t.sim ~period poll in
+  t.timers <- timer :: t.timers
+
+let subscribe_all_slots t =
+  let ecan = t.builder.Builder.ecan in
+  let can = Ecan_exp.can ecan in
+  Array.iter
+    (fun node ->
+      for row = 0 to Ecan_exp.rows ecan node - 1 do
+        let own = Ecan_exp.own_digit ecan node ~row in
+        for digit = 0 to (1 lsl Ecan_exp.span_bits ecan) - 1 do
+          if digit <> own then watch_slot t ~node ~row ~digit
+        done
+      done)
+    (Can_overlay.node_ids can)
+
+let watch_all_slots_of t node =
+  let ecan = t.builder.Builder.ecan in
+  for row = 0 to Ecan_exp.rows ecan node - 1 do
+    let own = Ecan_exp.own_digit ecan node ~row in
+    for digit = 0 to (1 lsl Ecan_exp.span_bits ecan) - 1 do
+      if digit <> own then watch_slot t ~node ~row ~digit
+    done
+  done
+
+let node_joins t node =
+  let builder = t.builder in
+  let can = Ecan_exp.can builder.Builder.ecan in
+  let vector = Landmark.Landmarks.vector builder.Builder.landmarks node in
+  Hashtbl.replace builder.Builder.vectors node vector;
+  ignore
+    (Can_overlay.join can node
+       (Geometry.Point.random builder.Builder.rng builder.Builder.config.Builder.dims));
+  Store.rehost builder.Builder.store;
+  (* Publishing through the bus is what lets Closer_than watchers adopt
+     the newcomer. *)
+  Bus.publish_all t.bus ~span_bits:builder.Builder.config.Builder.span_bits ~node ~vector;
+  let selector = Builder.selector builder builder.Builder.config.Builder.strategy in
+  Ecan_exp.build_table_for builder.Builder.ecan ~selector node;
+  watch_all_slots_of t node;
+  (* The node that split its zone for the newcomer sits behind the
+     flipped last path bit; its table just gained a row. *)
+  let path = (Can_overlay.node can node).Can_overlay.path in
+  let len = Array.length path in
+  if len > 0 then begin
+    let sibling = Array.copy path in
+    sibling.(len - 1) <- 1 - sibling.(len - 1);
+    let partners = Can_overlay.members_with_prefix can sibling in
+    Array.iter
+      (fun partner ->
+        if Array.length (Can_overlay.node can partner).Can_overlay.path = len then begin
+          Ecan_exp.build_table_for builder.Builder.ecan ~selector partner;
+          watch_all_slots_of t partner
+        end)
+      partners
+  end
+
+let node_departs t node =
+  let builder = t.builder in
+  let can = Ecan_exp.can builder.Builder.ecan in
+  (* Proactive policy: retract soft state first (notifying watchers), then
+     hand the zone over. *)
+  Bus.depart t.bus ~node;
+  let effect = Can_overlay.leave can node in
+  Hashtbl.remove builder.Builder.vectors node;
+  Store.rehost builder.Builder.store;
+  (* The merge survivor and the backfilled node both changed zones:
+     refresh their published regions, tables and watches. *)
+  let selector = Builder.selector builder builder.Builder.config.Builder.strategy in
+  let refresh_relocated id =
+    if id <> node && Can_overlay.mem can id then begin
+      Store.unpublish_everywhere builder.Builder.store id;
+      Bus.publish_all t.bus ~span_bits:builder.Builder.config.Builder.span_bits ~node:id
+        ~vector:(Builder.vector_of builder id);
+      Ecan_exp.build_table_for builder.Builder.ecan ~selector id;
+      watch_all_slots_of t id
+    end
+  in
+  refresh_relocated effect.Can_overlay.survivor;
+  Option.iter refresh_relocated effect.Can_overlay.backfilled;
+  (* slots elsewhere whose entries now reference the wrong region get
+     re-selected immediately (their watchers are renewed by the reselect) *)
+  List.iter
+    (fun (id, row, digit) -> reselect_slot t ~node:id ~row ~digit)
+    (Builder.stale_slots builder
+       (effect.Can_overlay.survivor :: Option.to_list effect.Can_overlay.backfilled));
+  (* The departed node's own subscriptions die with it. *)
+  let own_keys =
+    Hashtbl.fold (fun ((n, _, _) as k) _ acc -> if n = node then k :: acc else acc) t.slot_subs []
+  in
+  List.iter (drop_slot_subs t) own_keys

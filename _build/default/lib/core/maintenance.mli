@@ -1,0 +1,59 @@
+(** Soft-state upkeep and demand-driven neighbor re-selection (§5.2).
+
+    Ties the overlay to the discrete-event engine: members periodically
+    refresh their published soft state (which otherwise expires), expired
+    entries are swept, and members subscribe to the map regions behind
+    their expressway table slots so that the appearance of a closer
+    candidate — or the departure of the current one — triggers a
+    re-selection instead of a periodic blind poll. *)
+
+type t
+
+val start :
+  sim:Engine.Sim.t ->
+  ?refresh_period:float ->
+  ?sweep_period:float ->
+  Builder.t ->
+  t
+(** Begin periodic refresh (default every 200,000 ms, well inside the
+    default 600,000 ms TTL) and expiry sweeps (default every 100,000 ms).
+    The builder must have been constructed with [~clock] reading this
+    simulation's time for expiry to be meaningful. *)
+
+val bus : t -> Pubsub.Bus.t
+(** The pub/sub bus wired to the overlay's store.  Notification delivery
+    latency models dissemination over the overlay (the physical latency
+    of the eCAN route from the map host to the subscriber). *)
+
+val stop : t -> unit
+(** Cancel the periodic timers and deactivate the subscriptions. *)
+
+val enable_liveness_polling : t -> ?period:float -> is_alive:(int -> bool) -> unit -> unit
+(** §5.2's middle maintenance policy: map hosts periodically poll the
+    liveliness of the nodes whose entries they store and retract (with
+    departure notifications) the entries of dead ones.  [is_alive]
+    defaults the polling to overlay membership when you pass
+    [Can.Overlay.mem]; any predicate works (e.g. a failure injector).
+    [period] defaults to 300,000 ms.  Stopped by {!stop}. *)
+
+val subscribe_all_slots : t -> unit
+(** Every member subscribes, for each filled table slot, to the slot's
+    region with a [Closer_than] condition at its current representative
+    distance, plus a [Departure_of] watch on the representative.  Matching
+    notifications re-run selection for just that slot. *)
+
+val node_departs : t -> int -> unit
+(** Proactive departure of a member: retract its soft state (notifying
+    watchers), remove it from the overlay, rehost entries. *)
+
+val node_joins : t -> int -> unit
+(** Dynamic join through the pub/sub plane: the newcomer enters the CAN,
+    publishes its soft state via the bus (so [Closer_than] /
+    [Any_new_entry] watchers fire), builds and watches its own table, and
+    the node whose zone was split refreshes its (now deeper) table. *)
+
+val reselections : t -> int
+(** Number of slot re-selections performed so far (observability). *)
+
+val refreshes : t -> int
+(** Number of entry refreshes performed so far. *)

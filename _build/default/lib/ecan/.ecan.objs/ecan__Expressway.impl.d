@@ -1,0 +1,1 @@
+lib/ecan/expressway.ml: Array Can Geometry Hashtbl List

@@ -1,0 +1,1 @@
+lib/ecan/expressway.mli: Can Geometry

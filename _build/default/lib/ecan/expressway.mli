@@ -1,0 +1,63 @@
+(** eCAN: expressway-augmented CAN with logarithmic routing.
+
+    High-order zones are prefix regions of the CAN split tree: grouping
+    the split bits into digits of [span_bits] bits (so every [2^span_bits]
+    order-i zones form one order-(i+1) zone), a node's routing table has
+    one row per digit of its own path, and each row holds one
+    representative node for each sibling region at that level — exactly
+    Pastry's prefix-routing structure laid over the Cartesian space.
+
+    The choice of representative is the {e proximity-neighbor selection}
+    the paper is about, so it is pluggable: [build_tables] takes a
+    [selector] callback (random / soft-state hybrid / optimal are wired in
+    the [core] library). *)
+
+type t
+
+type selector = node:int -> region:int array -> candidates:int array -> int option
+(** [selector ~node ~region ~candidates] picks the routing-table entry
+    that [node] uses as its representative for the high-order zone
+    [region] (a path prefix).  [candidates] are the current members of the
+    region and is never empty.  Returning [None] leaves the entry
+    unfilled. *)
+
+val create : ?span_bits:int -> Can.Overlay.t -> t
+(** Wrap a CAN overlay; [span_bits] (default 2, i.e. k = 4 zones per
+    higher-order zone) is the number of path bits per routing digit. *)
+
+val can : t -> Can.Overlay.t
+val span_bits : t -> int
+
+val rows : t -> int -> int
+(** Number of complete routing-table rows of a node ([path length /
+    span_bits]). *)
+
+val own_digit : t -> int -> row:int -> int
+(** The node's own digit at a row. *)
+
+val region_prefix : t -> int -> row:int -> digit:int -> int array
+(** The path prefix of the sibling region a table slot points into. *)
+
+val entry : t -> int -> row:int -> digit:int -> int option
+(** Current table entry, [None] if unfilled or never built. *)
+
+val set_entry : t -> int -> row:int -> digit:int -> int option -> unit
+(** Overwrite one entry (used by pub/sub driven re-selection).  Raises
+    [Invalid_argument] if the slot does not exist. *)
+
+val entries : t -> int -> (int * int * int) list
+(** All filled entries of a node as [(row, digit, target)]. *)
+
+val build_table_for : t -> selector:selector -> int -> unit
+(** (Re)build one node's table from the current overlay state. *)
+
+val build_tables : t -> selector:selector -> unit
+(** (Re)build every member's table. *)
+
+val route : t -> src:int -> Geometry.Point.t -> int list option
+(** Expressway routing: hop along the table entry that extends the shared
+    digit prefix with the target; fall back to a greedy CAN hop when no
+    table entry helps.  Returns the hop list including both endpoints. *)
+
+val table_size : t -> int -> int
+(** Number of filled entries (routing state) of a node. *)

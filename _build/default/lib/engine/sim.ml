@@ -1,0 +1,128 @@
+type event = {
+  time : float;
+  seq : int;
+  run : unit -> unit;
+  mutable active : bool;
+}
+
+type timer = { mutable ev : event; mutable alive : bool }
+(* [alive] is the user-visible cancellation flag (periodic timers stay
+   alive across firings); [ev] is the currently queued event. *)
+
+(* Specialised binary min-heap ordered by (time, seq): FIFO among events
+   scheduled for the same instant. *)
+module Queue = struct
+  type t = { mutable data : event array; mutable size : int }
+
+  let dummy = { time = 0.0; seq = 0; run = ignore; active = false }
+  let create () = { data = [||]; size = 0 }
+
+  let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+  let push q e =
+    if q.size = Array.length q.data then begin
+      let ncap = max 16 (2 * q.size) in
+      let ndata = Array.make ncap dummy in
+      Array.blit q.data 0 ndata 0 q.size;
+      q.data <- ndata
+    end;
+    q.data.(q.size) <- e;
+    q.size <- q.size + 1;
+    let i = ref (q.size - 1) in
+    while !i > 0 && before q.data.(!i) q.data.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = q.data.(!i) in
+      q.data.(!i) <- q.data.(p);
+      q.data.(p) <- tmp;
+      i := p
+    done
+
+  let pop q =
+    if q.size = 0 then None
+    else begin
+      let top = q.data.(0) in
+      q.size <- q.size - 1;
+      if q.size > 0 then begin
+        q.data.(0) <- q.data.(q.size);
+        let i = ref 0 in
+        let continue = ref true in
+        while !continue do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let m = ref !i in
+          if l < q.size && before q.data.(l) q.data.(!m) then m := l;
+          if r < q.size && before q.data.(r) q.data.(!m) then m := r;
+          if !m = !i then continue := false
+          else begin
+            let tmp = q.data.(!i) in
+            q.data.(!i) <- q.data.(!m);
+            q.data.(!m) <- tmp;
+            i := !m
+          end
+        done
+      end;
+      Some top
+    end
+
+  let peek q = if q.size = 0 then None else Some q.data.(0)
+end
+
+type t = { mutable clock : float; mutable next_seq : int; queue : Queue.t }
+
+let create () = { clock = 0.0; next_seq = 0; queue = Queue.create () }
+
+let now t = t.clock
+
+let enqueue t time run =
+  let e = { time; seq = t.next_seq; run; active = true } in
+  t.next_seq <- t.next_seq + 1;
+  Queue.push t.queue e;
+  e
+
+let schedule_at t time run =
+  if time < t.clock then invalid_arg "Sim.schedule_at: time in the past";
+  { ev = enqueue t time run; alive = true }
+
+let schedule t ~delay run =
+  if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
+  schedule_at t (t.clock +. delay) run
+
+let every t ~period run =
+  if period <= 0.0 then invalid_arg "Sim.every: period must be positive";
+  let timer = { ev = Queue.dummy; alive = true } in
+  let rec fire () =
+    run ();
+    if timer.alive then timer.ev <- enqueue t (t.clock +. period) fire
+  in
+  timer.ev <- enqueue t (t.clock +. period) fire;
+  timer
+
+let cancel timer =
+  timer.alive <- false;
+  timer.ev.active <- false
+
+let pending t = t.queue.Queue.size
+
+let step t =
+  match Queue.pop t.queue with
+  | None -> false
+  | Some e ->
+    t.clock <- e.time;
+    if e.active then begin
+      e.active <- false;
+      e.run ()
+    end;
+    true
+
+let run ?until t =
+  let continue () =
+    match (Queue.peek t.queue, until) with
+    | None, _ -> false
+    | Some e, Some limit when e.time > limit -> false
+    | Some _, _ -> true
+  in
+  while continue () do
+    ignore (step t)
+  done;
+  match until with
+  | Some limit when t.clock < limit -> t.clock <- limit
+  | _ -> ()

@@ -1,0 +1,1 @@
+lib/geometry/hilbert.ml: Array

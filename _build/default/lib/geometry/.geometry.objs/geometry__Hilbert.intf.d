@@ -1,0 +1,1 @@
+lib/geometry/hilbert.mli: Point

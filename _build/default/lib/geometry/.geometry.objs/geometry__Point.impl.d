@@ -1,0 +1,1 @@
+lib/geometry/point.ml: Array Float Format Prelude String

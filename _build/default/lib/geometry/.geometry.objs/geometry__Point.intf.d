@@ -1,0 +1,1 @@
+lib/geometry/point.mli: Format Prelude

@@ -1,0 +1,1 @@
+lib/geometry/zcurve.mli: Point

@@ -1,0 +1,1 @@
+lib/geometry/zone.ml: Array Float Format List Point String

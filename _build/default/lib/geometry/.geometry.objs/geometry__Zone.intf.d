@@ -1,0 +1,1 @@
+lib/geometry/zone.mli: Format Point

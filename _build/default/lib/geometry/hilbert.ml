@@ -1,0 +1,124 @@
+(* Skilling's compact Hilbert transform ("Programming the Hilbert curve",
+   AIP Conf. Proc. 707, 2004).  The "transposed" form of an index is an
+   array X of [dims] words where bit b of the index (counting from the
+   most significant of the dims*bits total) lives at X.(b mod dims), bit
+   (b / dims counted from the top of each word). *)
+
+let max_total_bits = 62
+
+let check_geometry ~bits ~dims =
+  if bits < 1 then invalid_arg "Hilbert: bits must be >= 1";
+  if dims < 1 then invalid_arg "Hilbert: dims must be >= 1";
+  if dims * bits > max_total_bits then invalid_arg "Hilbert: dims * bits exceeds 62"
+
+(* Transposed Hilbert -> axes, in place. *)
+let transpose_to_axes x ~bits =
+  let n = Array.length x in
+  (* Gray decode. *)
+  let t = ref (x.(n - 1) lsr 1) in
+  for i = n - 1 downto 1 do
+    x.(i) <- x.(i) lxor x.(i - 1)
+  done;
+  x.(0) <- x.(0) lxor !t;
+  (* Undo excess work. *)
+  let q = ref 2 in
+  let top = 1 lsl bits in
+  while !q <> top do
+    let p = !q - 1 in
+    for i = n - 1 downto 0 do
+      if x.(i) land !q <> 0 then x.(0) <- x.(0) lxor p
+      else begin
+        let t = (x.(0) lxor x.(i)) land p in
+        x.(0) <- x.(0) lxor t;
+        x.(i) <- x.(i) lxor t
+      end
+    done;
+    q := !q lsl 1
+  done
+
+(* Axes -> transposed Hilbert, in place. *)
+let axes_to_transpose x ~bits =
+  let n = Array.length x in
+  let m = 1 lsl (bits - 1) in
+  (* Inverse undo. *)
+  let q = ref m in
+  while !q > 1 do
+    let p = !q - 1 in
+    for i = 0 to n - 1 do
+      if x.(i) land !q <> 0 then x.(0) <- x.(0) lxor p
+      else begin
+        let t = (x.(0) lxor x.(i)) land p in
+        x.(0) <- x.(0) lxor t;
+        x.(i) <- x.(i) lxor t
+      end
+    done;
+    q := !q lsr 1
+  done;
+  (* Gray encode. *)
+  for i = 1 to n - 1 do
+    x.(i) <- x.(i) lxor x.(i - 1)
+  done;
+  let t = ref 0 in
+  let q = ref m in
+  while !q > 1 do
+    if x.(n - 1) land !q <> 0 then t := !t lxor (!q - 1);
+    q := !q lsr 1
+  done;
+  for i = 0 to n - 1 do
+    x.(i) <- x.(i) lxor !t
+  done
+
+(* Pack the transposed form into a single int: bit (bits-1-b) of x.(i)
+   becomes index bit (total-1) - (b*dims + i). *)
+let pack x ~bits =
+  let dims = Array.length x in
+  let idx = ref 0 in
+  for b = bits - 1 downto 0 do
+    for i = 0 to dims - 1 do
+      idx := (!idx lsl 1) lor ((x.(i) lsr b) land 1)
+    done
+  done;
+  !idx
+
+let unpack idx ~bits ~dims =
+  let x = Array.make dims 0 in
+  let pos = ref (dims * bits) in
+  for b = bits - 1 downto 0 do
+    for i = 0 to dims - 1 do
+      decr pos;
+      x.(i) <- x.(i) lor (((idx lsr !pos) land 1) lsl b)
+    done
+  done;
+  (* [pos] counts down from dims*bits to 0; its final value is 0. *)
+  x
+
+let index_of_coords ~bits coords =
+  let dims = Array.length coords in
+  check_geometry ~bits ~dims;
+  let limit = 1 lsl bits in
+  Array.iter
+    (fun c -> if c < 0 || c >= limit then invalid_arg "Hilbert: coordinate out of range")
+    coords;
+  let x = Array.copy coords in
+  axes_to_transpose x ~bits;
+  pack x ~bits
+
+let coords_of_index ~bits ~dims idx =
+  check_geometry ~bits ~dims;
+  if idx < 0 || idx >= 1 lsl (dims * bits) then invalid_arg "Hilbert: index out of range";
+  let x = unpack idx ~bits ~dims in
+  transpose_to_axes x ~bits;
+  x
+
+let grid_coord ~bits v =
+  let cells = 1 lsl bits in
+  let c = int_of_float (v *. float_of_int cells) in
+  if c < 0 then 0 else if c >= cells then cells - 1 else c
+
+let index_of_point ~bits p =
+  index_of_coords ~bits (Array.map (grid_coord ~bits) p)
+
+let point_of_index ~bits ~dims idx =
+  let coords = coords_of_index ~bits ~dims idx in
+  let cells = float_of_int (1 lsl bits) in
+  Array.map (fun c -> (float_of_int c +. 0.5) /. cells) coords

@@ -1,0 +1,29 @@
+(** n-dimensional Hilbert space-filling curve (Skilling's algorithm).
+
+    Maps between grid coordinates (each in [0, 2^bits)) and a scalar index
+    in [0, 2^(dims*bits)) such that consecutive indices are adjacent grid
+    cells — points close on the curve are close in space.  This is the
+    dimension-reduction device of the paper's appendix: a landmark vector
+    gridded into cells gets its cell's curve index as the node's
+    {e landmark number}.
+
+    [dims * bits] must be <= 62 so indices fit a native int. *)
+
+val max_total_bits : int
+(** 62: indices are non-negative OCaml ints. *)
+
+val index_of_coords : bits:int -> int array -> int
+(** [index_of_coords ~bits coords] is the Hilbert index of a grid cell.
+    Raises [Invalid_argument] if a coordinate is outside [0, 2^bits), if
+    [bits < 1], or if [dims * bits > 62]. *)
+
+val coords_of_index : bits:int -> dims:int -> int -> int array
+(** Inverse of {!index_of_coords}.  Raises [Invalid_argument] on an index
+    outside [0, 2^(dims*bits)). *)
+
+val index_of_point : bits:int -> Point.t -> int
+(** Grid a point of the unit box ([coord * 2^bits], clamped) and take its
+    Hilbert index. *)
+
+val point_of_index : bits:int -> dims:int -> int -> Point.t
+(** Center of the grid cell at the given index. *)

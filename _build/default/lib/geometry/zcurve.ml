@@ -1,0 +1,44 @@
+let check_geometry ~bits ~dims =
+  if bits < 1 then invalid_arg "Zcurve: bits must be >= 1";
+  if dims < 1 then invalid_arg "Zcurve: dims must be >= 1";
+  if dims * bits > Hilbert.max_total_bits then invalid_arg "Zcurve: dims * bits exceeds 62"
+
+let index_of_coords ~bits coords =
+  let dims = Array.length coords in
+  check_geometry ~bits ~dims;
+  let limit = 1 lsl bits in
+  Array.iter
+    (fun c -> if c < 0 || c >= limit then invalid_arg "Zcurve: coordinate out of range")
+    coords;
+  let idx = ref 0 in
+  for b = bits - 1 downto 0 do
+    for i = 0 to dims - 1 do
+      idx := (!idx lsl 1) lor ((coords.(i) lsr b) land 1)
+    done
+  done;
+  !idx
+
+let coords_of_index ~bits ~dims idx =
+  check_geometry ~bits ~dims;
+  if idx < 0 || idx >= 1 lsl (dims * bits) then invalid_arg "Zcurve: index out of range";
+  let coords = Array.make dims 0 in
+  let pos = ref (dims * bits) in
+  for b = bits - 1 downto 0 do
+    for i = 0 to dims - 1 do
+      decr pos;
+      coords.(i) <- coords.(i) lor (((idx lsr !pos) land 1) lsl b)
+    done
+  done;
+  coords
+
+let grid_coord ~bits v =
+  let cells = 1 lsl bits in
+  let c = int_of_float (v *. float_of_int cells) in
+  if c < 0 then 0 else if c >= cells then cells - 1 else c
+
+let index_of_point ~bits p = index_of_coords ~bits (Array.map (grid_coord ~bits) p)
+
+let point_of_index ~bits ~dims idx =
+  let coords = coords_of_index ~bits ~dims idx in
+  let cells = float_of_int (1 lsl bits) in
+  Array.map (fun c -> (float_of_int c +. 0.5) /. cells) coords

@@ -1,0 +1,18 @@
+(** Z-order (Morton) space-filling curve.
+
+    Same interface as {!Hilbert} but with plain bit interleaving: cheaper,
+    with weaker locality (jumps at power-of-two boundaries).  Used as the
+    ablation alternative for landmark-number generation. *)
+
+val index_of_coords : bits:int -> int array -> int
+(** Morton index of a grid cell; same domain checks as
+    {!Hilbert.index_of_coords}. *)
+
+val coords_of_index : bits:int -> dims:int -> int -> int array
+(** Inverse of {!index_of_coords}. *)
+
+val index_of_point : bits:int -> Point.t -> int
+(** Grid a unit-box point and take its Morton index. *)
+
+val point_of_index : bits:int -> dims:int -> int -> Point.t
+(** Center of the grid cell at the given index. *)

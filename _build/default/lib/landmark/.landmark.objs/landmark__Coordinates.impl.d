@@ -1,0 +1,1 @@
+lib/landmark/coordinates.ml: Array Float Prelude Topology

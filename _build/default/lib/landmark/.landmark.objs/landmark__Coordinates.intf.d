@@ -1,0 +1,1 @@
+lib/landmark/coordinates.mli: Prelude Topology

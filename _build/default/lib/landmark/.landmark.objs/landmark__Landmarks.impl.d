@@ -1,0 +1,1 @@
+lib/landmark/landmarks.ml: Array Prelude Topology

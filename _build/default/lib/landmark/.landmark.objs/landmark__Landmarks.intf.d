@@ -1,0 +1,1 @@
+lib/landmark/landmarks.mli: Prelude Topology

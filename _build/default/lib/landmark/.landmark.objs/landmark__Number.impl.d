@@ -1,0 +1,1 @@
+lib/landmark/number.ml: Array Float Geometry Topology

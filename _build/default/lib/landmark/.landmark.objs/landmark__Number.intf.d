@@ -1,0 +1,1 @@
+lib/landmark/number.mli: Geometry Topology

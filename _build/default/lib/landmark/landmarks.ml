@@ -1,0 +1,52 @@
+type t = { nodes : int array; oracle : Topology.Oracle.t }
+
+let of_nodes oracle nodes =
+  if Array.length nodes < 1 then invalid_arg "Landmarks.of_nodes: need at least one landmark";
+  { nodes = Array.copy nodes; oracle }
+
+let choose rng oracle l =
+  let n = Topology.Oracle.node_count oracle in
+  if l < 1 || l > n then invalid_arg "Landmarks.choose: bad landmark count";
+  let all = Array.init n (fun i -> i) in
+  of_nodes oracle (Prelude.Rng.sample rng l all)
+
+let count t = Array.length t.nodes
+let nodes t = Array.copy t.nodes
+let oracle t = t.oracle
+
+let vector t node = Array.map (fun lm -> Topology.Oracle.measure t.oracle node lm) t.nodes
+
+let ordering vec =
+  let idx = Array.init (Array.length vec) (fun i -> i) in
+  Array.sort (fun a b -> compare (vec.(a), a) (vec.(b), b)) idx;
+  idx
+
+let factorial k =
+  let rec go acc k = if k <= 1 then acc else go (acc * k) (k - 1) in
+  go 1 k
+
+let ordering_bin ?(k = 4) vec =
+  if k < 1 then invalid_arg "Landmarks.ordering_bin: k must be >= 1";
+  if Array.length vec < k then invalid_arg "Landmarks.ordering_bin: vector shorter than k";
+  let order = ordering (Array.sub vec 0 k) in
+  (* Lehmer code: for each position, count later entries smaller than it. *)
+  let code = ref 0 in
+  for i = 0 to k - 1 do
+    let smaller_after = ref 0 in
+    for j = i + 1 to k - 1 do
+      if order.(j) < order.(i) then incr smaller_after
+    done;
+    code := (!code * (k - i)) + !smaller_after
+  done;
+  !code
+
+let ordering_bin_count ?(k = 4) () = factorial k
+
+let vector_dist a b =
+  if Array.length a <> Array.length b then invalid_arg "Landmarks.vector_dist: length mismatch";
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt !acc

@@ -1,0 +1,44 @@
+(** Landmark nodes and landmark vectors.
+
+    A set of landmark nodes is scattered in the network; every node
+    measures its RTT to each landmark, yielding its {e landmark vector} —
+    its coordinates in the {e landmark space}.  Nodes with nearby vectors
+    are likely physically close (with false-clustering risk that shrinks
+    as the number of landmarks grows). *)
+
+type t
+
+val choose : Prelude.Rng.t -> Topology.Oracle.t -> int -> t
+(** [choose rng oracle l] picks [l] distinct random nodes of the topology
+    as landmarks.  Raises [Invalid_argument] if [l] exceeds the node count
+    or is < 1. *)
+
+val of_nodes : Topology.Oracle.t -> int array -> t
+(** Use an explicit set of landmark nodes. *)
+
+val count : t -> int
+val nodes : t -> int array
+val oracle : t -> Topology.Oracle.t
+
+val vector : t -> int -> float array
+(** [vector t node] is the node's landmark vector (RTT to each landmark,
+    in landmark order).  Each call performs [count t] RTT measurements
+    (counted by the oracle's measurement counter). *)
+
+val ordering : float array -> int array
+(** [ordering vec] is the landmark-ordering representation used by
+    Topologically-Aware CAN: landmark indices sorted by increasing RTT. *)
+
+val ordering_bin : ?k:int -> float array -> int
+(** Topologically-Aware CAN's space binning: the Lehmer index (in
+    [0, k!)) of the ordering of the first [k] (default 4) landmarks.
+    Nodes with the same bin have the same landmark ordering and are
+    placed in the same portion of the Cartesian space.  Raises
+    [Invalid_argument] if the vector has fewer than [k] components. *)
+
+val ordering_bin_count : ?k:int -> unit -> int
+(** Number of bins, [k!]. *)
+
+val vector_dist : float array -> float array -> float
+(** Euclidean distance between two landmark vectors (the landmark-space
+    proximity estimate). *)

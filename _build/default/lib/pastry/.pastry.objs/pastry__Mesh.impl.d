@@ -1,0 +1,1 @@
+lib/pastry/mesh.ml: Array Format Hashtbl List Prelude Result Seq

@@ -1,0 +1,1 @@
+lib/pastry/mesh.mli: Prelude

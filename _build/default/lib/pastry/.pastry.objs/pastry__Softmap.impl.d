@@ -1,0 +1,1 @@
+lib/pastry/softmap.ml: Array Hashtbl Landmark List Mesh

@@ -1,0 +1,1 @@
+lib/pastry/softmap.mli: Landmark Mesh

@@ -1,0 +1,1 @@
+lib/prelude/rng.ml: Array Int64 List

@@ -1,0 +1,1 @@
+lib/prelude/rng.mli:

@@ -1,0 +1,65 @@
+type 'a entry = { prio : float; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+let grow h entry =
+  let cap = Array.length h.data in
+  if h.size = cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let ndata = Array.make ncap entry in
+    Array.blit h.data 0 ndata 0 h.size;
+    h.data <- ndata
+  end
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.data.(i).prio < h.data.(parent).prio then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && h.data.(l).prio < h.data.(!smallest).prio then smallest := l;
+  if r < h.size && h.data.(r).prio < h.data.(!smallest).prio then smallest := r;
+  if !smallest <> i then begin
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(!smallest);
+    h.data.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let push h prio value =
+  let entry = { prio; value } in
+  grow h entry;
+  h.data.(h.size) <- entry;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    Some (top.prio, top.value)
+  end
+
+let peek h = if h.size = 0 then None else Some (h.data.(0).prio, h.data.(0).value)
+
+let clear h =
+  h.data <- [||];
+  h.size <- 0

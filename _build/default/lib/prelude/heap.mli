@@ -1,0 +1,25 @@
+(** Imperative binary min-heap parameterised by an explicit priority.
+
+    Used by Dijkstra (priority = tentative distance).  Entries are not
+    stable: equal priorities pop in a deterministic but unspecified
+    order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** Fresh empty heap. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h prio x] inserts [x] with priority [prio].  O(log n). *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority entry.  O(log n). *)
+
+val peek : 'a t -> (float * 'a) option
+(** Minimum-priority entry without removing it.  O(1). *)
+
+val clear : 'a t -> unit
+(** Drop all entries. *)

@@ -1,0 +1,46 @@
+(** Summary statistics over float samples. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+(** Descriptive summary of a sample.  For an empty sample every field is 0
+    (and [count = 0]). *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for an empty array. *)
+
+val variance : float array -> float
+(** Population variance; 0 for arrays shorter than 2. *)
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0,100], linear interpolation between
+    order statistics.  Raises [Invalid_argument] on an empty array or a
+    [p] outside [0,100].  Does not mutate its argument. *)
+
+val summarize : float array -> summary
+(** Full summary of a sample. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Render as ["mean=… sd=… p50=… p90=… p99=… min=… max=… n=…"]. *)
+
+(** Online (streaming) mean/variance accumulation, Welford's algorithm. *)
+module Online : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val stddev : t -> float
+end

@@ -1,0 +1,1 @@
+lib/proximity/search.ml: Array Can Hashtbl Landmark List Topology

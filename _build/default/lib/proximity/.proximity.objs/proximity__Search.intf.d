@@ -1,0 +1,1 @@
+lib/proximity/search.mli: Can Topology

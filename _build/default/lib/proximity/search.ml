@@ -1,0 +1,133 @@
+module Oracle = Topology.Oracle
+module Can_overlay = Can.Overlay
+module Landmarks = Landmark.Landmarks
+
+type curve = { found : int array; dist : float array }
+
+let true_nearest oracle ~query ~candidates =
+  match Oracle.nearest oracle query candidates with
+  | Some (node, d) -> (node, d)
+  | None -> invalid_arg "Search.true_nearest: no candidate besides the query"
+
+(* Fold a probe sequence into a best-so-far curve, spending at most
+   [budget] measurements. *)
+let curve_of_probes oracle ~query ~budget probes =
+  let found = ref [] and dist = ref [] in
+  let best_node = ref (-1) and best_dist = ref infinity in
+  let spent = ref 0 in
+  let probe node =
+    if !spent < budget then begin
+      incr spent;
+      let d = Oracle.measure oracle query node in
+      if d < !best_dist then begin
+        best_dist := d;
+        best_node := node
+      end;
+      found := !best_node :: !found;
+      dist := !best_dist :: !dist
+    end
+  in
+  List.iter probe probes;
+  { found = Array.of_list (List.rev !found); dist = Array.of_list (List.rev !dist) }
+
+let ers_curve oracle can ~query ~budget =
+  if not (Can_overlay.mem can query) then invalid_arg "Search.ers_curve: query not a member";
+  if budget < 1 then invalid_arg "Search.ers_curve: budget must be >= 1";
+  (* Breadth-first rings over the CAN neighbor graph. *)
+  let visited = Hashtbl.create 64 in
+  Hashtbl.replace visited query ();
+  let probes = ref [] in
+  let collected = ref 0 in
+  let ring = ref (List.sort compare (Can_overlay.node can query).Can_overlay.neighbors) in
+  List.iter (fun v -> Hashtbl.replace visited v ()) !ring;
+  while !collected < budget && !ring <> [] do
+    let take = min (budget - !collected) (List.length !ring) in
+    List.iteri (fun i v -> if i < take then probes := v :: !probes) !ring;
+    collected := !collected + take;
+    if !collected < budget then begin
+      let next =
+        List.concat_map
+          (fun v ->
+            List.filter (fun w -> not (Hashtbl.mem visited w)) (Can_overlay.node can v).Can_overlay.neighbors)
+          !ring
+      in
+      let next = List.sort_uniq compare next in
+      List.iter (fun v -> Hashtbl.replace visited v ()) next;
+      ring := next
+    end
+  done;
+  curve_of_probes oracle ~query ~budget (List.rev !probes)
+
+let ranked_curve oracle ~score ~candidates ~query ~budget =
+  if budget < 1 then invalid_arg "Search.ranked_curve: budget must be >= 1";
+  let ranked =
+    candidates
+    |> Array.to_list
+    |> List.filter (fun c -> c <> query)
+    |> List.map (fun c -> (score c, c))
+    |> List.sort compare
+    |> List.map snd
+  in
+  curve_of_probes oracle ~query ~budget ranked
+
+let hybrid_curve oracle ~vector_of ~candidates ~query ~budget =
+  if budget < 1 then invalid_arg "Search.hybrid_curve: budget must be >= 1";
+  let qvec = vector_of query in
+  ranked_curve oracle
+    ~score:(fun c -> Landmarks.vector_dist qvec (vector_of c))
+    ~candidates ~query ~budget
+
+let hill_climb_curve oracle can ~query ~budget =
+  if not (Can_overlay.mem can query) then
+    invalid_arg "Search.hill_climb_curve: query not a member";
+  if budget < 1 then invalid_arg "Search.hill_climb_curve: budget must be >= 1";
+  (* Walk to the best neighbor while it improves; each neighbor probe
+     costs one measurement.  Stops at local minima. *)
+  let found = ref [] and dist = ref [] in
+  let best_node = ref (-1) and best_dist = ref infinity in
+  let spent = ref 0 in
+  let probe node =
+    if !spent < budget then begin
+      incr spent;
+      let d = Oracle.measure oracle query node in
+      if d < !best_dist then begin
+        best_dist := d;
+        best_node := node
+      end;
+      found := !best_node :: !found;
+      dist := !best_dist :: !dist;
+      Some d
+    end
+    else None
+  in
+  let visited = Hashtbl.create 32 in
+  Hashtbl.replace visited query ();
+  let rec climb at current_dist =
+    if !spent >= budget then ()
+    else begin
+      let improved = ref None in
+      List.iter
+        (fun v ->
+          if not (Hashtbl.mem visited v) then begin
+            Hashtbl.replace visited v ();
+            match probe v with
+            | Some d -> (
+              match !improved with
+              | Some (bd, _) when bd <= d -> ()
+              | _ -> if d < current_dist then improved := Some (d, v))
+            | None -> ()
+          end)
+        (List.sort compare (Can_overlay.node can at).Can_overlay.neighbors);
+      match !improved with
+      | Some (d, v) -> climb v d
+      | None -> ()  (* local minimum: the heuristic gives up *)
+    end
+  in
+  climb query infinity;
+  { found = Array.of_list (List.rev !found); dist = Array.of_list (List.rev !dist) }
+
+let stretch_curve { dist; _ } ~optimal =
+  Array.map
+    (fun d ->
+      if optimal > 0.0 then d /. optimal else if d = 0.0 then 1.0 else infinity)
+    dist

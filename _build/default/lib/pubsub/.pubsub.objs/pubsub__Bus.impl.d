@@ -1,0 +1,1 @@
+lib/pubsub/bus.ml: Array Can Engine Float Hashtbl Landmark List Softstate

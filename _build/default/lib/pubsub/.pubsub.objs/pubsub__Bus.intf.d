@@ -1,0 +1,1 @@
+lib/pubsub/bus.mli: Engine Softstate

@@ -1,0 +1,149 @@
+module Store = Softstate.Store
+module Sim = Engine.Sim
+module Landmarks = Landmark.Landmarks
+
+type event =
+  | Entry_published of { region : int array; entry_node : int }
+  | Entry_departed of { region : int array; entry_node : int }
+  | Load_changed of { region : int array; entry_node : int; load : float }
+
+type condition =
+  | Any_new_entry
+  | Closer_than of float array * float
+  | Load_above of { watched : int; threshold : float }
+  | Departure_of of int
+
+type notification = { subscriber : int; event : event; delivered_at : float }
+
+type subscription = {
+  id : int;
+  subscriber : int;
+  region : int array;
+  condition : condition;
+  handler : notification -> unit;
+  mutable active : bool;
+}
+
+type t = {
+  store : Store.t;
+  sim : Sim.t option;
+  latency : host:int -> subscriber:int -> float;
+  subs : (int, subscription list ref) Hashtbl.t;  (* region key -> subscriptions *)
+  mutable next_id : int;
+}
+
+let region_key bits = Array.fold_left (fun acc b -> (acc lsl 1) lor b) 1 bits
+
+let create ?sim ?(latency = fun ~host:_ ~subscriber:_ -> 0.0) store =
+  { store; sim; latency; subs = Hashtbl.create 64; next_id = 0 }
+
+let store t = t.store
+
+let subscribe t ~subscriber ~region ~condition ~handler =
+  let sub =
+    {
+      id = t.next_id;
+      subscriber;
+      region = Array.copy region;
+      condition;
+      handler;
+      active = true;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  let key = region_key region in
+  (match Hashtbl.find_opt t.subs key with
+  | Some l -> l := sub :: !l
+  | None -> Hashtbl.replace t.subs key (ref [ sub ]));
+  sub
+
+let unsubscribe t sub =
+  sub.active <- false;
+  let key = region_key sub.region in
+  match Hashtbl.find_opt t.subs key with
+  | Some l ->
+    l := List.filter (fun s -> s.id <> sub.id) !l;
+    if !l = [] then Hashtbl.remove t.subs key
+  | None -> ()
+
+let subscription_count t ~region =
+  match Hashtbl.find_opt t.subs (region_key region) with
+  | Some l -> List.length (List.filter (fun s -> s.active) !l)
+  | None -> 0
+
+let matches sub ~vector event =
+  match (sub.condition, event) with
+  | Any_new_entry, Entry_published _ -> true
+  | Closer_than (mine, d), Entry_published _ ->
+    (match vector with
+    | Some v -> Landmarks.vector_dist mine v <= d
+    | None -> false)
+  | Load_above { watched; threshold }, Load_changed { entry_node; load; _ } ->
+    watched = entry_node && load > threshold
+  | Departure_of watched, Entry_departed { entry_node; _ } -> watched = entry_node
+  | (Any_new_entry | Closer_than _ | Load_above _ | Departure_of _), _ -> false
+
+let deliver t sub ~host event =
+  let fire at =
+    if sub.active then sub.handler { subscriber = sub.subscriber; event; delivered_at = at }
+  in
+  match t.sim with
+  | None -> fire 0.0
+  | Some sim ->
+    let delay = Float.max 0.0 (t.latency ~host ~subscriber:sub.subscriber) in
+    ignore (Sim.schedule sim ~delay (fun () -> fire (Sim.now sim)))
+
+let notify t ~region ~vector ~host event =
+  match Hashtbl.find_opt t.subs (region_key region) with
+  | None -> ()
+  | Some l ->
+    List.iter
+      (fun sub -> if sub.active && matches sub ~vector event then deliver t sub ~host event)
+      !l
+
+let host_for t ~region ~vector =
+  if Can.Overlay.size (Store.can t.store) = 0 then -1
+  else Store.host_of t.store ~region ~vector
+
+let publish t ~region ~node ~vector =
+  let fresh = Store.find t.store ~region ~node = None in
+  Store.publish t.store ~region ~node ~vector;
+  if fresh then begin
+    let host = host_for t ~region ~vector in
+    notify t ~region ~vector:(Some vector) ~host (Entry_published { region; entry_node = node })
+  end
+
+let publish_all t ~span_bits ~node ~vector =
+  let path = (Can.Overlay.node (Store.can t.store) node).Can.Overlay.path in
+  let len = Array.length path / span_bits * span_bits in
+  let rec go l =
+    if l >= 0 then begin
+      publish t ~region:(Array.sub path 0 l) ~node ~vector;
+      go (l - span_bits)
+    end
+  in
+  go len
+
+let update_load t ~region ~node ~load ~capacity =
+  match Store.find t.store ~region ~node with
+  | None -> ()
+  | Some e ->
+    Store.update_stats t.store ~region ~node ~load ~capacity;
+    let host = host_for t ~region ~vector:e.Store.Entry.vector in
+    notify t ~region ~vector:None ~host (Load_changed { region; entry_node = node; load })
+
+let depart t ~node =
+  let regions = Store.regions_of t.store node in
+  List.iter
+    (fun region ->
+      let vector =
+        match Store.find t.store ~region ~node with
+        | Some e -> Some e.Store.Entry.vector
+        | None -> None
+      in
+      Store.unpublish t.store ~region ~node;
+      let host =
+        match vector with Some v -> host_for t ~region ~vector:v | None -> -1
+      in
+      notify t ~region ~vector ~host (Entry_departed { region; entry_node = node }))
+    regions

@@ -1,0 +1,68 @@
+(** Publish/subscribe over the global soft-state (paper §5.2).
+
+    Nodes subscribe to the map regions backing their routing-table entries
+    and state the condition under which they want to be told — "a node
+    joined the zone", "a node closer to me appeared", "my neighbor's load
+    crossed a threshold", "my neighbor departed".  Store mutations routed
+    through the bus evaluate the region's subscriptions and deliver
+    matching notifications, after a delivery latency, through the
+    discrete-event engine (notifications ride the overlay in the paper;
+    the latency function models that dissemination cost). *)
+
+type event =
+  | Entry_published of { region : int array; entry_node : int }
+  | Entry_departed of { region : int array; entry_node : int }
+  | Load_changed of { region : int array; entry_node : int; load : float }
+
+type condition =
+  | Any_new_entry
+      (** fire on every publish of a {e new} node in the region (refreshes
+          of an existing entry do not fire) *)
+  | Closer_than of float array * float
+      (** [Closer_than (my_vector, d)]: a new entry whose landmark vector
+          is within [d] of mine — the demand-driven trigger for neighbor
+          re-selection *)
+  | Load_above of { watched : int; threshold : float }
+      (** the watched node reports load above the threshold (QoS, §6) *)
+  | Departure_of of int  (** the watched node leaves the region *)
+
+type notification = { subscriber : int; event : event; delivered_at : float }
+
+type subscription
+
+type t
+
+val create :
+  ?sim:Engine.Sim.t ->
+  ?latency:(host:int -> subscriber:int -> float) ->
+  Softstate.Store.t ->
+  t
+(** Wrap a store.  Without [sim], notifications are delivered
+    synchronously at time 0; with it, they are scheduled [latency]
+    milliseconds ahead (default latency 0). *)
+
+val store : t -> Softstate.Store.t
+
+val subscribe :
+  t ->
+  subscriber:int ->
+  region:int array ->
+  condition:condition ->
+  handler:(notification -> unit) ->
+  subscription
+
+val unsubscribe : t -> subscription -> unit
+
+val subscription_count : t -> region:int array -> int
+(** Active subscriptions on a region. *)
+
+val publish : t -> region:int array -> node:int -> vector:float array -> unit
+(** {!Softstate.Store.publish} + condition evaluation. *)
+
+val publish_all : t -> span_bits:int -> node:int -> vector:float array -> unit
+
+val update_load : t -> region:int array -> node:int -> load:float -> capacity:float -> unit
+
+val depart : t -> node:int -> unit
+(** Proactive departure: unpublish the node from every region and notify
+    the matching subscribers of each. *)

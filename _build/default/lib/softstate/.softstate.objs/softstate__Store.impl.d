@@ -1,0 +1,1 @@
+lib/softstate/store.ml: Array Can Float Format Geometry Hashtbl Landmark List Prelude Result

@@ -1,0 +1,1 @@
+lib/softstate/store.mli: Can Geometry Landmark Prelude

@@ -1,0 +1,340 @@
+module Zone = Geometry.Zone
+module Can_overlay = Can.Overlay
+module Number = Landmark.Number
+module Landmarks = Landmark.Landmarks
+
+module Entry = struct
+  type t = {
+    node : int;
+    vector : float array;
+    number : int;
+    position : Geometry.Point.t;
+    mutable expires : float;
+    mutable load : float;
+    mutable capacity : float;
+  }
+end
+
+type region_map = {
+  box : Zone.t;
+  entries : (int, Entry.t) Hashtbl.t;  (* by described node *)
+  by_host : (int, Entry.t list ref) Hashtbl.t;  (* overlay host -> entries *)
+}
+
+type t = {
+  can : Can_overlay.t;
+  scheme : Number.scheme;
+  condense : float;
+  base_fraction : float;
+  default_ttl : float;
+  clock : unit -> float;
+  maps : (int, region_map) Hashtbl.t;  (* region path key *)
+  regions : (int, int array) Hashtbl.t;  (* region path key -> path bits *)
+}
+
+(* Same encoding as Can.Overlay: sentinel bit + path bits. *)
+let region_key bits =
+  Array.fold_left (fun acc b -> (acc lsl 1) lor b) 1 bits
+
+let create ?(condense = 1.0) ?(base_fraction = 0.125) ?(default_ttl = 600_000.0)
+    ?(clock = fun () -> 0.0) ~scheme can =
+  if condense <= 0.0 then invalid_arg "Store.create: condense must be positive";
+  if not (base_fraction > 0.0 && base_fraction <= 1.0) then
+    invalid_arg "Store.create: base_fraction out of (0,1]";
+  if default_ttl <= 0.0 then invalid_arg "Store.create: ttl must be positive";
+  {
+    can;
+    scheme;
+    condense;
+    base_fraction;
+    default_ttl;
+    clock;
+    maps = Hashtbl.create 256;
+    regions = Hashtbl.create 256;
+  }
+
+let can t = t.can
+let scheme t = t.scheme
+let condense t = t.condense
+
+let map_fraction t = Float.min 1.0 (t.condense *. t.base_fraction)
+
+let map_box t region =
+  let zone = Can_overlay.zone_of_path ~dims:(Can_overlay.dims t.can) region in
+  Zone.shrink zone (map_fraction t)
+
+let map_for t region =
+  let key = region_key region in
+  match Hashtbl.find_opt t.maps key with
+  | Some m -> m
+  | None ->
+    let m = { box = map_box t region; entries = Hashtbl.create 16; by_host = Hashtbl.create 16 } in
+    Hashtbl.replace t.maps key m;
+    Hashtbl.replace t.regions key (Array.copy region);
+    m
+
+let live t (e : Entry.t) = e.Entry.expires > t.clock ()
+
+let host_add m host entry =
+  match Hashtbl.find_opt m.by_host host with
+  | Some l -> l := entry :: !l
+  | None -> Hashtbl.replace m.by_host host (ref [ entry ])
+
+let host_remove m host (entry : Entry.t) =
+  match Hashtbl.find_opt m.by_host host with
+  | Some l ->
+    l := List.filter (fun (e : Entry.t) -> e.Entry.node <> entry.Entry.node) !l;
+    if !l = [] then Hashtbl.remove m.by_host host
+  | None -> ()
+
+let remove_entry t m (entry : Entry.t) =
+  Hashtbl.remove m.entries entry.Entry.node;
+  host_remove m (Can_overlay.owner_of t.can entry.Entry.position) entry
+
+let publish t ~region ~node ~vector =
+  let m = map_for t region in
+  (match Hashtbl.find_opt m.entries node with
+  | Some old -> remove_entry t m old
+  | None -> ());
+  let position = Number.position_in_zone t.scheme m.box vector in
+  let entry =
+    {
+      Entry.node;
+      vector = Array.copy vector;
+      number = Number.number t.scheme vector;
+      position;
+      expires = t.clock () +. t.default_ttl;
+      load = 0.0;
+      capacity = 1.0;
+    }
+  in
+  Hashtbl.replace m.entries node entry;
+  host_add m (Can_overlay.owner_of t.can position) entry
+
+let enclosing_regions ~span_bits path =
+  let len = Array.length path in
+  let rec go acc l = if l < 0 then acc else go (Array.sub path 0 l :: acc) (l - span_bits) in
+  (* Regions at digit granularity, from the root down to the node's
+     deepest complete high-order zone. *)
+  go [] (len / span_bits * span_bits)
+
+let publish_all t ~span_bits ~node ~vector =
+  if span_bits < 1 then invalid_arg "Store.publish_all: span_bits must be >= 1";
+  let path = (Can_overlay.node t.can node).Can_overlay.path in
+  List.iter (fun region -> publish t ~region ~node ~vector) (enclosing_regions ~span_bits path)
+
+let unpublish t ~region ~node =
+  match Hashtbl.find_opt t.maps (region_key region) with
+  | None -> ()
+  | Some m ->
+    (match Hashtbl.find_opt m.entries node with
+    | Some e -> remove_entry t m e
+    | None -> ())
+
+let unpublish_everywhere t node =
+  Hashtbl.iter
+    (fun _ m ->
+      match Hashtbl.find_opt m.entries node with
+      | Some e -> remove_entry t m e
+      | None -> ())
+    t.maps
+
+let with_live_entry t ~region ~node f =
+  match Hashtbl.find_opt t.maps (region_key region) with
+  | None -> ()
+  | Some m ->
+    (match Hashtbl.find_opt m.entries node with
+    | Some e when live t e -> f e
+    | Some _ | None -> ())
+
+let refresh t ~region ~node =
+  with_live_entry t ~region ~node (fun e -> e.Entry.expires <- t.clock () +. t.default_ttl)
+
+let update_stats t ~region ~node ~load ~capacity =
+  with_live_entry t ~region ~node (fun e ->
+      e.Entry.load <- load;
+      e.Entry.capacity <- capacity)
+
+let find t ~region ~node =
+  match Hashtbl.find_opt t.maps (region_key region) with
+  | None -> None
+  | Some m ->
+    (match Hashtbl.find_opt m.entries node with
+    | Some e when live t e -> Some e
+    | Some _ | None -> None)
+
+let host_of t ~region ~vector =
+  let box = match Hashtbl.find_opt t.maps (region_key region) with
+    | Some m -> m.box
+    | None -> map_box t region
+  in
+  Can_overlay.owner_of t.can (Number.position_in_zone t.scheme box vector)
+
+let lookup_route t ~from ~region ~vector =
+  let box =
+    match Hashtbl.find_opt t.maps (region_key region) with
+    | Some m -> m.box
+    | None -> map_box t region
+  in
+  Can_overlay.route t.can ~src:from (Number.position_in_zone t.scheme box vector)
+
+let sort_by_vector_distance vector entries =
+  let keyed =
+    List.map (fun (e : Entry.t) -> (Landmarks.vector_dist vector e.Entry.vector, e.Entry.node, e)) entries
+  in
+  List.map (fun (_, _, e) -> e) (List.sort compare keyed)
+
+let lookup t ~region ~vector ?(max_results = 16) ?(ttl = 2) () =
+  match Hashtbl.find_opt t.maps (region_key region) with
+  | None -> []
+  | Some m ->
+    let start = host_of t ~region ~vector in
+    let collected = ref [] in
+    let seen_hosts = Hashtbl.create 8 in
+    let count = ref 0 in
+    let visit host =
+      if not (Hashtbl.mem seen_hosts host) then begin
+        Hashtbl.replace seen_hosts host ();
+        match Hashtbl.find_opt m.by_host host with
+        | Some l ->
+          List.iter
+            (fun e ->
+              if live t e then begin
+                collected := e :: !collected;
+                incr count
+              end)
+            !l
+        | None -> ()
+      end
+    in
+    visit start;
+    (* Table 1's "define a TTL to search outside": widen ring by ring over
+       CAN neighbors that still intersect the map box. *)
+    let frontier = ref [ start ] in
+    let hops = ref 0 in
+    while !count < max_results && !hops < ttl && !frontier <> [] do
+      incr hops;
+      let next =
+        List.concat_map
+          (fun h ->
+            List.filter
+              (fun nid ->
+                (not (Hashtbl.mem seen_hosts nid))
+                && Zone.min_torus_dist m.box (Zone.center (Can_overlay.node t.can nid).Can_overlay.zone)
+                   = 0.0)
+              (Can_overlay.node t.can h).Can_overlay.neighbors)
+          !frontier
+      in
+      let next = List.sort_uniq compare next in
+      List.iter visit next;
+      frontier := next
+    done;
+    let sorted = sort_by_vector_distance vector !collected in
+    List.filteri (fun i _ -> i < max_results) sorted
+
+let region_entries t region =
+  match Hashtbl.find_opt t.maps (region_key region) with
+  | None -> []
+  | Some m -> Hashtbl.fold (fun _ e acc -> if live t e then e :: acc else acc) m.entries []
+
+let regions_of t node =
+  Hashtbl.fold
+    (fun key m acc ->
+      match Hashtbl.find_opt m.entries node with
+      | Some e when live t e -> Hashtbl.find t.regions key :: acc
+      | Some _ | None -> acc)
+    t.maps []
+
+let described_nodes t =
+  let seen = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ m ->
+      Hashtbl.iter (fun node e -> if live t e then Hashtbl.replace seen node ()) m.entries)
+    t.maps;
+  Hashtbl.fold (fun node () acc -> node :: acc) seen []
+
+let entries_at_host t host =
+  Hashtbl.fold
+    (fun _ m acc ->
+      match Hashtbl.find_opt m.by_host host with
+      | Some l -> acc + List.length (List.filter (live t) !l)
+      | None -> acc)
+    t.maps 0
+
+let avg_entries_per_node t =
+  let ids = Can_overlay.node_ids t.can in
+  if Array.length ids = 0 then 0.0
+  else begin
+    let total = Array.fold_left (fun acc id -> acc + entries_at_host t id) 0 ids in
+    float_of_int total /. float_of_int (Array.length ids)
+  end
+
+let hosting_stats t =
+  let counts =
+    Array.to_list (Array.map (entries_at_host t) (Can_overlay.node_ids t.can))
+    |> List.filter (fun c -> c > 0)
+    |> List.map float_of_int
+  in
+  Prelude.Stats.summarize (Array.of_list counts)
+
+let expire_sweep t =
+  let dropped = ref 0 in
+  Hashtbl.iter
+    (fun _ m ->
+      let dead =
+        Hashtbl.fold (fun _ e acc -> if live t e then acc else e :: acc) m.entries []
+      in
+      List.iter
+        (fun e ->
+          remove_entry t m e;
+          incr dropped)
+        dead)
+    t.maps;
+  !dropped
+
+let rehost t =
+  Hashtbl.iter
+    (fun _ m ->
+      Hashtbl.reset m.by_host;
+      Hashtbl.iter
+        (fun _ e -> host_add m (Can_overlay.owner_of t.can e.Entry.position) e)
+        m.entries)
+    t.maps
+
+let check_invariants t =
+  let ( let* ) r f = Result.bind r f in
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  Hashtbl.fold
+    (fun key m acc ->
+      let* () = acc in
+      let region = Hashtbl.find t.regions key in
+      let* () =
+        if Zone.equal m.box (map_box t region) then Ok ()
+        else err "map box drifted for a region"
+      in
+      let* () =
+        Hashtbl.fold
+          (fun node e acc ->
+            let* () = acc in
+            if not (Zone.contains m.box e.Entry.position) then
+              err "entry for node %d outside its map box" node
+            else begin
+              let host = Can_overlay.owner_of t.can e.Entry.position in
+              match Hashtbl.find_opt m.by_host host with
+              | Some l when List.exists (fun (x : Entry.t) -> x.Entry.node = node) !l -> Ok ()
+              | _ -> err "entry for node %d not indexed under its host" node
+            end)
+          m.entries (Ok ())
+      in
+      (* no orphans in the host index *)
+      Hashtbl.fold
+        (fun _ l acc ->
+          let* () = acc in
+          List.fold_left
+            (fun acc (e : Entry.t) ->
+              let* () = acc in
+              if Hashtbl.mem m.entries e.Entry.node then Ok ()
+              else err "host index holds an orphan entry")
+            (Ok ()) !l)
+        m.by_host (Ok ()))
+    t.maps (Ok ())

@@ -1,0 +1,139 @@
+(** Global soft-state: per-region coordinate maps stored on the overlay.
+
+    For every high-order zone (a path prefix of the eCAN split tree) there
+    is a {e map} holding one entry per member node of the region: the
+    node's landmark vector, landmark number, and optional load statistics.
+    The map for region [Z] is itself stored inside (a condensed fraction
+    of) [Z]: each entry sits at the position [h(p, dp, dz, Z)] derived
+    from the node's landmark number, and is held by the overlay node whose
+    CAN zone contains that position.  Nodes that are physically close have
+    close landmark numbers and therefore their entries land on the same or
+    nearby hosts — so a single overlay lookup retrieves the right
+    candidate set (Table 1 of the paper).
+
+    Entries are {e soft state}: they carry an expiry time and vanish
+    unless refreshed.  The clock is injected so the store can run under
+    the discrete-event engine or under manual time in tests. *)
+
+module Entry : sig
+  type t = {
+    node : int;  (** the described node *)
+    vector : float array;  (** its landmark vector *)
+    number : int;  (** its landmark number *)
+    position : Geometry.Point.t;  (** where in the map's box it is stored *)
+    mutable expires : float;
+    mutable load : float;  (** current load fraction, for QoS extensions *)
+    mutable capacity : float;  (** forwarding capacity, for QoS extensions *)
+  }
+end
+
+type t
+
+val create :
+  ?condense:float ->
+  ?base_fraction:float ->
+  ?default_ttl:float ->
+  ?clock:(unit -> float) ->
+  scheme:Landmark.Number.scheme ->
+  Can.Overlay.t ->
+  t
+(** [create ~scheme can] builds an empty store over a CAN overlay.
+
+    [condense] (default 1.0) is the paper's map condense/reduction rate:
+    the map of a region occupies the sub-box of the region with volume
+    fraction [min (condense *. base_fraction) 1.0].  [base_fraction]
+    (default 1/8) is the fraction at rate 1; raising [condense] above 1
+    "enlarges the map" to spread entries over more hosts, lowering
+    entries-per-node (Fig. 16).
+
+    [default_ttl] (default 600,000 ms = 10 min) is the soft-state
+    lifetime; [clock] defaults to a frozen clock at 0 (pass
+    [fun () -> Sim.now sim] to run under the engine). *)
+
+val can : t -> Can.Overlay.t
+val scheme : t -> Landmark.Number.scheme
+val condense : t -> float
+
+val map_box : t -> int array -> Geometry.Zone.t
+(** The (condensed) box of a region's map. *)
+
+val publish : t -> region:int array -> node:int -> vector:float array -> unit
+(** Insert or overwrite the entry describing [node] in a region's map,
+    stamped with the default TTL. *)
+
+val publish_all : t -> span_bits:int -> node:int -> vector:float array -> unit
+(** Publish [node] into every high-order zone enclosing its CAN zone
+    (prefixes of its path in steps of [span_bits], including the root
+    region) — at most [O(log n)] maps, as the paper notes. *)
+
+val unpublish : t -> region:int array -> node:int -> unit
+(** Proactive departure: drop the entry immediately. *)
+
+val unpublish_everywhere : t -> int -> unit
+(** Drop every entry describing a node, across all regions. *)
+
+val refresh : t -> region:int array -> node:int -> unit
+(** Re-stamp the entry's expiry at [now + default_ttl]; no-op if the
+    entry is absent or already expired and swept. *)
+
+val update_stats : t -> region:int array -> node:int -> load:float -> capacity:float -> unit
+(** Update the load statistics piggybacked on an entry. *)
+
+val find : t -> region:int array -> node:int -> Entry.t option
+(** Direct (non-overlay) access to a live entry; expired entries are
+    invisible. *)
+
+val host_of : t -> region:int array -> vector:float array -> int
+(** The overlay node a lookup with this vector lands on (owner of the
+    hashed position in the map box). *)
+
+val lookup_route : t -> from:int -> region:int array -> vector:float array -> int list option
+(** The overlay route a lookup issued by [from] takes to reach the map
+    host (greedy CAN routing to the hashed position) — the message cost
+    of {!lookup}, for accounting. *)
+
+val lookup :
+  t -> region:int array -> vector:float array -> ?max_results:int -> ?ttl:int -> unit -> Entry.t list
+(** The paper's Table 1 procedure.  Route to the host designated by the
+    querying node's landmark vector; collect its live entries for the
+    region; if fewer than [max_results] (default 16) were found, widen the
+    search to hosts up to [ttl] (default 2) CAN hops away inside the map
+    box.  Results are sorted by landmark-space distance to [vector],
+    closest first, truncated to [max_results]. *)
+
+val region_entries : t -> int array -> Entry.t list
+(** All live entries of a region (ground truth / tests). *)
+
+val regions_of : t -> int -> int array list
+(** The regions in whose maps a node currently has a live entry. *)
+
+val described_nodes : t -> int list
+(** Every node currently described by at least one live entry, whether or
+    not it is still an overlay member — the population a liveness-polling
+    maintainer must check. *)
+
+val entries_at_host : t -> int -> int
+(** Number of live entries held by an overlay node across all maps
+    (Fig. 16's "map entries / node"). *)
+
+val avg_entries_per_node : t -> float
+(** Mean of [entries_at_host] over current overlay members.  Invariant in
+    the condense rate (the total entry count does not change); see
+    {!hosting_stats} for the per-hosting-node distribution. *)
+
+val hosting_stats : t -> Prelude.Stats.summary
+(** Distribution of [entries_at_host] over the nodes that host at least
+    one entry — Fig. 16's "map entries / node".  Condensing maps
+    concentrates entries on fewer hosts (higher mean), enlarging them
+    spreads entries thin. *)
+
+val expire_sweep : t -> int
+(** Purge expired entries; returns how many were dropped. *)
+
+val rehost : t -> unit
+(** Recompute entry hosting after overlay membership changed (zones moved).
+    Positions are stable; only the position->owner assignment is redone. *)
+
+val check_invariants : t -> (unit, string) result
+(** Entry positions lie in their map boxes; hosting matches CAN ownership;
+    per-host index agrees with the maps. *)

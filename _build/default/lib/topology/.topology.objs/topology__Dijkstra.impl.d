@@ -1,0 +1,1 @@
+lib/topology/dijkstra.ml: Array Graph Prelude

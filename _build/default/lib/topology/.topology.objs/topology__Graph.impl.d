@@ -1,0 +1,1 @@
+lib/topology/graph.ml: Array Hashtbl List

@@ -1,0 +1,1 @@
+lib/topology/oracle.ml: Array Dijkstra Graph Transit_stub

@@ -1,0 +1,1 @@
+lib/topology/oracle.mli: Graph Transit_stub

@@ -1,0 +1,1 @@
+lib/topology/serialize.ml: Array Buffer Format Fun Graph List Printf Result String Transit_stub

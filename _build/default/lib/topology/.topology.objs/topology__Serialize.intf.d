@@ -1,0 +1,1 @@
+lib/topology/serialize.mli: Transit_stub

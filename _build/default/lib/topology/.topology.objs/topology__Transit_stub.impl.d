@@ -1,0 +1,1 @@
+lib/topology/transit_stub.ml: Array Float Format Graph Hashtbl Prelude

@@ -1,0 +1,1 @@
+lib/topology/waxman.ml: Array Graph Hashtbl Prelude

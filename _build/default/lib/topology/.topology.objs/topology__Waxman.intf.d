@@ -1,0 +1,1 @@
+lib/topology/waxman.mli: Graph Prelude

@@ -1,0 +1,43 @@
+let run g src =
+  let n = Graph.node_count g in
+  if src < 0 || src >= n then invalid_arg "Dijkstra: source out of range";
+  let dist = Array.make n infinity in
+  let prev = Array.make n (-1) in
+  let settled = Array.make n false in
+  let heap = Prelude.Heap.create () in
+  dist.(src) <- 0.0;
+  Prelude.Heap.push heap 0.0 src;
+  let rec loop () =
+    match Prelude.Heap.pop heap with
+    | None -> ()
+    | Some (d, u) ->
+      if not settled.(u) then begin
+        settled.(u) <- true;
+        Array.iter
+          (fun (v, w) ->
+            let nd = d +. w in
+            if nd < dist.(v) then begin
+              dist.(v) <- nd;
+              prev.(v) <- u;
+              Prelude.Heap.push heap nd v
+            end)
+          (Graph.neighbors g u)
+      end;
+      loop ()
+  in
+  loop ();
+  (dist, prev)
+
+let distances g src = fst (run g src)
+
+let distance g src dst =
+  let dist = distances g src in
+  dist.(dst)
+
+let path g src dst =
+  let dist, prev = run g src in
+  if dist.(dst) = infinity then None
+  else begin
+    let rec build acc u = if u = src then src :: acc else build (u :: acc) prev.(u) in
+    Some (build [] dst)
+  end

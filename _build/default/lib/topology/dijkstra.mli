@@ -1,0 +1,17 @@
+(** Single-source shortest paths (reference distance implementation).
+
+    Used as ground truth in tests and for arbitrary graphs; the
+    transit-stub {!Oracle} answers the same queries in O(1) after
+    precomputation. *)
+
+val distances : Graph.t -> int -> float array
+(** [distances g src] is the array of shortest-path latencies from [src] to
+    every node; [infinity] for unreachable nodes. *)
+
+val distance : Graph.t -> int -> int -> float
+(** Shortest-path latency between two nodes ([infinity] if disconnected).
+    Runs a full single-source computation; prefer {!Oracle} in hot paths. *)
+
+val path : Graph.t -> int -> int -> int list option
+(** A shortest path from source to destination inclusive, or [None] if
+    unreachable. *)

@@ -1,0 +1,85 @@
+type t = { adj : (int * float) array array; edge_count : int }
+
+let make n edge_list =
+  if n < 0 then invalid_arg "Graph.make: negative node count";
+  let buckets = Array.make n [] in
+  let seen = Hashtbl.create (List.length edge_list) in
+  let add (u, v, w) =
+    if u < 0 || u >= n || v < 0 || v >= n then invalid_arg "Graph.make: endpoint out of range";
+    if u = v then invalid_arg "Graph.make: self loop";
+    if w <= 0.0 then invalid_arg "Graph.make: non-positive weight";
+    let key = if u < v then (u, v) else (v, u) in
+    if Hashtbl.mem seen key then invalid_arg "Graph.make: duplicate edge";
+    Hashtbl.add seen key ();
+    buckets.(u) <- (v, w) :: buckets.(u);
+    buckets.(v) <- (u, w) :: buckets.(v)
+  in
+  List.iter add edge_list;
+  { adj = Array.map Array.of_list buckets; edge_count = Hashtbl.length seen }
+
+let node_count t = Array.length t.adj
+let edge_count t = t.edge_count
+let neighbors t u = t.adj.(u)
+let degree t u = Array.length t.adj.(u)
+
+let weight t u v =
+  let rec find i arr = if i >= Array.length arr then None else begin
+    let w, wt = arr.(i) in
+    if w = v then Some wt else find (i + 1) arr
+  end in
+  find 0 t.adj.(u)
+
+let edges t =
+  let acc = ref [] in
+  for u = Array.length t.adj - 1 downto 0 do
+    Array.iter (fun (v, w) -> if u < v then acc := (u, v, w) :: !acc) t.adj.(u)
+  done;
+  !acc
+
+let is_connected t =
+  let n = node_count t in
+  if n = 0 then true
+  else begin
+    let visited = Array.make n false in
+    let stack = ref [ 0 ] in
+    visited.(0) <- true;
+    let count = ref 0 in
+    let rec walk () =
+      match !stack with
+      | [] -> ()
+      | u :: rest ->
+        stack := rest;
+        incr count;
+        Array.iter
+          (fun (v, _) ->
+            if not visited.(v) then begin
+              visited.(v) <- true;
+              stack := v :: !stack
+            end)
+          t.adj.(u);
+        walk ()
+    in
+    walk ();
+    !count = n
+  end
+
+let subgraph t nodes =
+  let k = Array.length nodes in
+  let n = node_count t in
+  let new_id = Array.make n (-1) in
+  Array.iteri
+    (fun i u ->
+      if u < 0 || u >= n then invalid_arg "Graph.subgraph: node out of range";
+      if new_id.(u) <> -1 then invalid_arg "Graph.subgraph: duplicate node";
+      new_id.(u) <- i)
+    nodes;
+  let edge_list = ref [] in
+  Array.iteri
+    (fun i u ->
+      Array.iter
+        (fun (v, w) ->
+          let j = new_id.(v) in
+          if j >= 0 && i < j then edge_list := (i, j, w) :: !edge_list)
+        t.adj.(u))
+    nodes;
+  (make k !edge_list, Array.copy nodes)

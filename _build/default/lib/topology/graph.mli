@@ -1,0 +1,35 @@
+(** Immutable weighted undirected graph with dense integer node ids.
+
+    Nodes are [0 .. node_count - 1].  Edge weights are link latencies in
+    milliseconds and must be positive. *)
+
+type t
+
+val make : int -> (int * int * float) list -> t
+(** [make n edges] builds a graph over nodes [0..n-1].  Each [(u, v, w)]
+    contributes an undirected edge.  Raises [Invalid_argument] on
+    out-of-range endpoints, self loops, non-positive weights, or duplicate
+    edges. *)
+
+val node_count : t -> int
+val edge_count : t -> int
+
+val neighbors : t -> int -> (int * float) array
+(** Adjacency of a node as [(neighbor, weight)] pairs.  The returned array
+    is owned by the graph; callers must not mutate it. *)
+
+val degree : t -> int -> int
+
+val weight : t -> int -> int -> float option
+(** Weight of the edge between two nodes, if present. *)
+
+val edges : t -> (int * int * float) list
+(** Every undirected edge once, with [u < v]. *)
+
+val is_connected : t -> bool
+(** Whether every node is reachable from node 0 (true for empty graphs). *)
+
+val subgraph : t -> int array -> t * int array
+(** [subgraph g nodes] is the induced subgraph on [nodes] (which must be
+    distinct) with nodes renumbered [0..k-1] in the given order, together
+    with the mapping from new ids back to original ids. *)

@@ -1,0 +1,101 @@
+type hierarchical = {
+  topo : Transit_stub.t;
+  core_dist : float array array;  (* transit-node index (= id) pairwise latencies *)
+  stub_dist : float array array array;  (* stub -> local all-pairs latencies *)
+  local_idx : int array;  (* node -> index within its stub; -1 for transit *)
+  to_gateway : float array;  (* node -> latency to its stub's gateway node; 0 for transit *)
+}
+
+type backend =
+  | Hierarchical of hierarchical
+  | Dense of { nodes : int; all_pairs : float array array }
+
+type t = { backend : backend; mutable count : int }
+
+let build (topo : Transit_stub.t) =
+  let n = Graph.node_count topo.graph in
+  let n_transit = Array.length topo.transit_nodes in
+  (* Core all-pairs over the transit-only subgraph (ids 0..n_transit-1). *)
+  let core_graph, _ = Graph.subgraph topo.graph topo.transit_nodes in
+  let core_dist =
+    Array.init n_transit (fun src -> Dijkstra.distances core_graph src)
+  in
+  let stub_count = Array.length topo.stub_members in
+  let local_idx = Array.make n (-1) in
+  Array.iter
+    (fun members -> Array.iteri (fun i id -> local_idx.(id) <- i) members)
+    topo.stub_members;
+  let stub_dist =
+    Array.init stub_count (fun s ->
+      let sub, _ = Graph.subgraph topo.graph topo.stub_members.(s) in
+      Array.init (Graph.node_count sub) (fun src -> Dijkstra.distances sub src))
+  in
+  let to_gateway = Array.make n 0.0 in
+  Array.iteri
+    (fun s members ->
+      let gw_local = local_idx.(topo.stub_attach_stub_node.(s)) in
+      Array.iter (fun id -> to_gateway.(id) <- stub_dist.(s).(local_idx.(id)).(gw_local)) members)
+    topo.stub_members;
+  { backend = Hierarchical { topo; core_dist; stub_dist; local_idx; to_gateway }; count = 0 }
+
+let of_graph graph =
+  let n = Graph.node_count graph in
+  let all_pairs = Array.init n (fun src -> Dijkstra.distances graph src) in
+  { backend = Dense { nodes = n; all_pairs }; count = 0 }
+
+let topology t =
+  match t.backend with Hierarchical h -> Some h.topo | Dense _ -> None
+
+let node_count t =
+  match t.backend with
+  | Hierarchical h -> Graph.node_count h.topo.Transit_stub.graph
+  | Dense d -> d.nodes
+
+let hierarchical_dist h u v =
+  let core a b = h.core_dist.(a).(b) in
+  let su = h.topo.Transit_stub.stub_of.(u) and sv = h.topo.Transit_stub.stub_of.(v) in
+  if su = -1 && sv = -1 then core u v
+  else if su = -1 then
+    (* u transit, v in a stub *)
+    core u h.topo.Transit_stub.stub_attach_transit.(sv)
+    +. h.topo.Transit_stub.stub_attach_weight.(sv)
+    +. h.to_gateway.(v)
+  else if sv = -1 then
+    core v h.topo.Transit_stub.stub_attach_transit.(su)
+    +. h.topo.Transit_stub.stub_attach_weight.(su)
+    +. h.to_gateway.(u)
+  else if su = sv then h.stub_dist.(su).(h.local_idx.(u)).(h.local_idx.(v))
+  else
+    h.to_gateway.(u)
+    +. h.topo.Transit_stub.stub_attach_weight.(su)
+    +. core h.topo.Transit_stub.stub_attach_transit.(su) h.topo.Transit_stub.stub_attach_transit.(sv)
+    +. h.topo.Transit_stub.stub_attach_weight.(sv)
+    +. h.to_gateway.(v)
+
+let dist t u v =
+  if u = v then 0.0
+  else begin
+    match t.backend with
+    | Hierarchical h -> hierarchical_dist h u v
+    | Dense d -> d.all_pairs.(u).(v)
+  end
+
+let measure t u v =
+  t.count <- t.count + 1;
+  dist t u v
+
+let measurements t = t.count
+let reset_measurements t = t.count <- 0
+
+let nearest t u candidates =
+  let best = ref None in
+  Array.iter
+    (fun c ->
+      if c <> u then begin
+        let d = dist t u c in
+        match !best with
+        | Some (_, bd) when bd <= d -> ()
+        | _ -> best := Some (c, d)
+      end)
+    candidates;
+  !best

@@ -1,0 +1,176 @@
+module Ts = Transit_stub
+
+let version = "topo-overlay-topology-v1"
+
+let latency_tag = function Ts.Gtitm_random -> "gtitm" | Ts.Manual -> "manual"
+
+let latency_of_tag = function
+  | "gtitm" -> Ok Ts.Gtitm_random
+  | "manual" -> Ok Ts.Manual
+  | other -> Error (Printf.sprintf "unknown latency model %S" other)
+
+let to_string (t : Ts.t) =
+  let buf = Buffer.create (64 * Graph.node_count t.Ts.graph) in
+  let p = t.Ts.params in
+  Buffer.add_string buf (version ^ "\n");
+  Buffer.add_string buf
+    (Printf.sprintf "params %d %d %d %d %d %h %s\n" p.Ts.transit_domains
+       p.Ts.transit_nodes_per_domain p.Ts.stubs_per_transit_node p.Ts.stub_size
+       p.Ts.extra_domain_edges p.Ts.extra_edge_fraction (latency_tag p.Ts.latency));
+  let stubs = Array.length t.Ts.stub_members in
+  Buffer.add_string buf (Printf.sprintf "stubs %d\n" stubs);
+  for s = 0 to stubs - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "stub %d %d %d %h %s\n" s t.Ts.stub_attach_stub_node.(s)
+         t.Ts.stub_attach_transit.(s) t.Ts.stub_attach_weight.(s)
+         (String.concat "," (List.map string_of_int (Array.to_list t.Ts.stub_members.(s)))));
+  done;
+  let edges = Graph.edges t.Ts.graph in
+  Buffer.add_string buf
+    (Printf.sprintf "graph %d %d\n" (Graph.node_count t.Ts.graph) (List.length edges));
+  List.iter
+    (fun (u, v, w) -> Buffer.add_string buf (Printf.sprintf "edge %d %d %h\n" u v w))
+    edges;
+  Buffer.contents buf
+
+let of_string s =
+  let ( let* ) r f = Result.bind r f in
+  let lines = String.split_on_char '\n' s in
+  let lines = List.filter (fun l -> String.trim l <> "") lines in
+  let fail fmt = Format.kasprintf (fun m -> Error m) fmt in
+  match lines with
+  | v :: rest when String.trim v = version -> begin
+    let* params, rest =
+      match rest with
+      | line :: rest -> (
+        match String.split_on_char ' ' line with
+        | [ "params"; d; tn; st; ss; ex; frac; lat ] -> (
+          try
+            let* latency = latency_of_tag lat in
+            Ok
+              ( {
+                  Ts.transit_domains = int_of_string d;
+                  transit_nodes_per_domain = int_of_string tn;
+                  stubs_per_transit_node = int_of_string st;
+                  stub_size = int_of_string ss;
+                  extra_domain_edges = int_of_string ex;
+                  extra_edge_fraction = float_of_string frac;
+                  latency;
+                },
+                rest )
+          with Failure _ -> fail "malformed params line")
+        | _ -> fail "expected params line")
+      | [] -> fail "truncated input (params)"
+    in
+    let* stub_count, rest =
+      match rest with
+      | line :: rest -> (
+        match String.split_on_char ' ' line with
+        | [ "stubs"; n ] -> (
+          try Ok (int_of_string n, rest) with Failure _ -> fail "malformed stubs line")
+        | _ -> fail "expected stubs line")
+      | [] -> fail "truncated input (stubs)"
+    in
+    let stub_members = Array.make stub_count [||] in
+    let attach_stub = Array.make stub_count (-1) in
+    let attach_transit = Array.make stub_count (-1) in
+    let attach_weight = Array.make stub_count 0.0 in
+    let rec read_stubs i rest =
+      if i >= stub_count then Ok rest
+      else begin
+        match rest with
+        | line :: rest -> (
+          match String.split_on_char ' ' line with
+          | [ "stub"; idx; gw; tr; w; members ] -> (
+            try
+              let idx = int_of_string idx in
+              if idx <> i then fail "stub records out of order"
+              else begin
+                attach_stub.(i) <- int_of_string gw;
+                attach_transit.(i) <- int_of_string tr;
+                attach_weight.(i) <- float_of_string w;
+                stub_members.(i) <-
+                  Array.of_list (List.map int_of_string (String.split_on_char ',' members));
+                read_stubs (i + 1) rest
+              end
+            with Failure _ -> fail "malformed stub line %d" i)
+          | _ -> fail "expected stub line %d" i)
+        | [] -> fail "truncated input (stub %d)" i
+      end
+    in
+    let* rest = read_stubs 0 rest in
+    let* (n, edge_count), rest =
+      match rest with
+      | line :: rest -> (
+        match String.split_on_char ' ' line with
+        | [ "graph"; n; e ] -> (
+          try Ok ((int_of_string n, int_of_string e), rest)
+          with Failure _ -> fail "malformed graph line")
+        | _ -> fail "expected graph line")
+      | [] -> fail "truncated input (graph)"
+    in
+    let rec read_edges k acc rest =
+      if k >= edge_count then Ok (acc, rest)
+      else begin
+        match rest with
+        | line :: rest -> (
+          match String.split_on_char ' ' line with
+          | [ "edge"; u; v; w ] -> (
+            try
+              read_edges (k + 1)
+                ((int_of_string u, int_of_string v, float_of_string w) :: acc)
+                rest
+            with Failure _ -> fail "malformed edge line %d" k)
+          | _ -> fail "expected edge line %d" k)
+        | [] -> fail "truncated input (edge %d)" k
+      end
+    in
+    let* edges, rest = read_edges 0 [] rest in
+    let* () = if rest = [] then Ok () else fail "trailing garbage" in
+    let* graph =
+      try Ok (Graph.make n edges) with Invalid_argument m -> fail "bad graph: %s" m
+    in
+    (* Rebuild the derived per-node tables from the stub records. *)
+    let kind = Array.make n (Ts.Transit { domain = 0 }) in
+    let stub_of = Array.make n (-1) in
+    let n_transit = params.Ts.transit_domains * params.Ts.transit_nodes_per_domain in
+    let* () =
+      if n_transit > n then fail "params disagree with node count" else Ok ()
+    in
+    for i = 0 to n_transit - 1 do
+      kind.(i) <- Ts.Transit { domain = i / params.Ts.transit_nodes_per_domain }
+    done;
+    Array.iteri
+      (fun s members ->
+        Array.iter
+          (fun id ->
+            kind.(id) <- Ts.Stub_node { stub = s };
+            stub_of.(id) <- s)
+          members)
+      stub_members;
+    Ok
+      {
+        Ts.graph;
+        params;
+        kind;
+        transit_nodes = Array.init n_transit (fun i -> i);
+        stub_members;
+        stub_of;
+        stub_attach_stub_node = attach_stub;
+        stub_attach_transit = attach_transit;
+        stub_attach_weight = attach_weight;
+      }
+  end
+  | _ -> fail "missing or unknown version header"
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))
+
+let load path =
+  try
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+  with Sys_error m -> Error m

@@ -1,0 +1,18 @@
+(** Plain-text serialisation of transit-stub topologies.
+
+    Line-oriented format (version-tagged) carrying the generation
+    parameters, per-node kinds, stub attachment records and the weighted
+    edge list — enough to reconstruct a {!Transit_stub.t} exactly, so a
+    generated topology can be archived and shared between runs. *)
+
+val to_string : Transit_stub.t -> string
+(** Serialise (exact: floats are printed in round-trippable hex). *)
+
+val of_string : string -> (Transit_stub.t, string) result
+(** Parse; returns [Error reason] on malformed input. *)
+
+val save : Transit_stub.t -> string -> unit
+(** Write to a file.  Raises [Sys_error] on I/O failure. *)
+
+val load : string -> (Transit_stub.t, string) result
+(** Read from a file; I/O errors are reported as [Error]. *)

@@ -1,0 +1,200 @@
+module Rng = Prelude.Rng
+
+type latency_model = Gtitm_random | Manual
+
+type link_class = Inter_transit | Intra_transit | Transit_stub_link | Intra_stub
+
+type params = {
+  transit_domains : int;
+  transit_nodes_per_domain : int;
+  stubs_per_transit_node : int;
+  stub_size : int;
+  extra_domain_edges : int;
+  extra_edge_fraction : float;
+  latency : latency_model;
+}
+
+type node_kind = Transit of { domain : int } | Stub_node of { stub : int }
+
+type t = {
+  graph : Graph.t;
+  params : params;
+  kind : node_kind array;
+  transit_nodes : int array;
+  stub_members : int array array;
+  stub_of : int array;
+  stub_attach_stub_node : int array;
+  stub_attach_transit : int array;
+  stub_attach_weight : float array;
+}
+
+let total_nodes p =
+  let transit = p.transit_domains * p.transit_nodes_per_domain in
+  transit + (transit * p.stubs_per_transit_node * p.stub_size)
+
+let link_latency rng model cls =
+  match (model, cls) with
+  | Manual, Inter_transit -> 20.0
+  | Manual, Intra_transit -> 5.0
+  | Manual, Transit_stub_link -> 2.0
+  | Manual, Intra_stub -> 1.0
+  | Gtitm_random, Inter_transit -> Rng.float_in rng 10.0 50.0
+  | Gtitm_random, Intra_transit -> Rng.float_in rng 5.0 30.0
+  | Gtitm_random, Transit_stub_link -> Rng.float_in rng 2.0 20.0
+  | Gtitm_random, Intra_stub -> Rng.float_in rng 1.0 10.0
+
+let validate p =
+  if p.transit_domains < 1 then invalid_arg "Transit_stub: need >= 1 transit domain";
+  if p.transit_nodes_per_domain < 1 then invalid_arg "Transit_stub: need >= 1 transit node per domain";
+  if p.stubs_per_transit_node < 0 then invalid_arg "Transit_stub: negative stub count";
+  if p.stub_size < 1 then invalid_arg "Transit_stub: need >= 1 node per stub";
+  if p.extra_domain_edges < 0 then invalid_arg "Transit_stub: negative extra domain edges";
+  if p.extra_edge_fraction < 0.0 then invalid_arg "Transit_stub: negative extra edge fraction"
+
+(* Random connected graph on [members]: a random recursive spanning tree
+   (node i attaches to a uniform earlier node, giving O(log n) diameter)
+   plus [extra_edge_fraction * n] random chords.  Emits edges via [emit]. *)
+let connect_randomly rng members extra_fraction cls emit =
+  let n = Array.length members in
+  for i = 1 to n - 1 do
+    let j = Rng.int rng i in
+    emit members.(j) members.(i) cls
+  done;
+  if n >= 3 then begin
+    let extras = int_of_float (Float.round (extra_fraction *. float_of_int n)) in
+    let attempts = ref 0 in
+    let added = ref 0 in
+    (* Bounded retry loop: duplicate and self edges are skipped by the
+       caller's dedup, so a few wasted attempts are harmless. *)
+    while !added < extras && !attempts < extras * 10 do
+      incr attempts;
+      let a = Rng.int rng n and b = Rng.int rng n in
+      if a <> b then begin
+        emit members.(a) members.(b) cls;
+        incr added
+      end
+    done
+  end
+
+let generate rng p =
+  validate p;
+  let n_transit = p.transit_domains * p.transit_nodes_per_domain in
+  let stubs_total = n_transit * p.stubs_per_transit_node in
+  let n = total_nodes p in
+  let kind = Array.make n (Transit { domain = 0 }) in
+  let stub_of = Array.make n (-1) in
+  let transit_nodes = Array.init n_transit (fun i -> i) in
+  Array.iteri
+    (fun i _ -> kind.(i) <- Transit { domain = i / p.transit_nodes_per_domain })
+    transit_nodes;
+  let stub_members = Array.make stubs_total [||] in
+  let next = ref n_transit in
+  for s = 0 to stubs_total - 1 do
+    let members = Array.init p.stub_size (fun _ ->
+      let id = !next in
+      incr next;
+      kind.(id) <- Stub_node { stub = s };
+      stub_of.(id) <- s;
+      id)
+    in
+    stub_members.(s) <- members
+  done;
+  (* Edge accumulation with dedup: random chord generation may propose an
+     edge twice; keep the first weight. *)
+  let seen = Hashtbl.create (4 * n) in
+  let edge_list = ref [] in
+  let emit u v cls =
+    let key = if u < v then (u, v) else (v, u) in
+    if u <> v && not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      edge_list := (u, v, link_latency rng p.latency cls) :: !edge_list
+    end
+  in
+  (* Intra-domain transit connectivity. *)
+  for d = 0 to p.transit_domains - 1 do
+    let members =
+      Array.init p.transit_nodes_per_domain (fun i -> (d * p.transit_nodes_per_domain) + i)
+    in
+    connect_randomly rng members p.extra_edge_fraction Intra_transit emit
+  done;
+  (* Inter-domain connectivity: random spanning tree over domains plus
+     extra random domain pairs; each realised between random transit nodes
+     of the two domains. *)
+  let random_member d = (d * p.transit_nodes_per_domain) + Rng.int rng p.transit_nodes_per_domain in
+  for d = 1 to p.transit_domains - 1 do
+    let other = Rng.int rng d in
+    emit (random_member other) (random_member d) Inter_transit
+  done;
+  if p.transit_domains >= 2 then
+    for _ = 1 to p.extra_domain_edges do
+      let a = Rng.int rng p.transit_domains and b = Rng.int rng p.transit_domains in
+      if a <> b then emit (random_member a) (random_member b) Inter_transit
+    done;
+  (* Stub domains: internal connectivity plus one access link. *)
+  let stub_attach_stub_node = Array.make stubs_total (-1) in
+  let stub_attach_transit = Array.make stubs_total (-1) in
+  let stub_attach_weight = Array.make stubs_total 0.0 in
+  for s = 0 to stubs_total - 1 do
+    let members = stub_members.(s) in
+    connect_randomly rng members p.extra_edge_fraction Intra_stub emit;
+    let transit = s / p.stubs_per_transit_node in
+    let gateway = Rng.pick rng members in
+    let w = link_latency rng p.latency Transit_stub_link in
+    let key = (min gateway transit, max gateway transit) in
+    Hashtbl.add seen key ();
+    edge_list := (gateway, transit, w) :: !edge_list;
+    stub_attach_stub_node.(s) <- gateway;
+    stub_attach_transit.(s) <- transit;
+    stub_attach_weight.(s) <- w
+  done;
+  let graph = Graph.make n !edge_list in
+  {
+    graph;
+    params = p;
+    kind;
+    transit_nodes;
+    stub_members;
+    stub_of;
+    stub_attach_stub_node;
+    stub_attach_transit;
+    stub_attach_weight;
+  }
+
+let tsk_large ?(latency = Gtitm_random) ?(scale = 1) () =
+  if scale < 1 then invalid_arg "tsk_large: scale must be >= 1";
+  {
+    transit_domains = 8;
+    transit_nodes_per_domain = 6;
+    stubs_per_transit_node = 8;
+    stub_size = max 1 (26 / scale);
+    extra_domain_edges = 8;
+    extra_edge_fraction = 0.35;
+    latency;
+  }
+
+let tsk_small ?(latency = Gtitm_random) ?(scale = 1) () =
+  if scale < 1 then invalid_arg "tsk_small: scale must be >= 1";
+  {
+    transit_domains = 2;
+    transit_nodes_per_domain = 4;
+    stubs_per_transit_node = 4;
+    stub_size = max 1 (312 / scale);
+    extra_domain_edges = 2;
+    extra_edge_fraction = 0.35;
+    latency;
+  }
+
+let classify_link t u v =
+  if Graph.weight t.graph u v = None then invalid_arg "classify_link: nodes not adjacent";
+  match (t.kind.(u), t.kind.(v)) with
+  | Transit { domain = a }, Transit { domain = b } ->
+    if a = b then Intra_transit else Inter_transit
+  | Stub_node _, Transit _ | Transit _, Stub_node _ -> Transit_stub_link
+  | Stub_node _, Stub_node _ -> Intra_stub
+
+let pp_params ppf p =
+  Format.fprintf ppf
+    "{domains=%d; transit/domain=%d; stubs/transit=%d; stub_size=%d; nodes=%d; latency=%s}"
+    p.transit_domains p.transit_nodes_per_domain p.stubs_per_transit_node p.stub_size
+    (total_nodes p)
+    (match p.latency with Gtitm_random -> "gtitm-random" | Manual -> "manual")

@@ -1,0 +1,71 @@
+(** GT-ITM-style transit-stub topology generator.
+
+    A topology is a two-level hierarchy: a core of transit domains (each a
+    small random connected graph of transit nodes, domains interconnected by
+    random inter-domain links) with stub domains hanging off transit nodes.
+    Each stub domain is a random connected graph attached to its transit
+    node by a single access link, and there are no stub-stub or extra
+    stub-transit links — the hierarchy is strict, which is what enables the
+    exact O(1) {!Oracle}. *)
+
+type latency_model =
+  | Gtitm_random
+      (** Random per-link latencies drawn uniformly from a range that
+          depends on the link class, mimicking GT-ITM's random weights:
+          inter-transit 10–50 ms, intra-transit 5–30 ms, transit-stub
+          2–20 ms, intra-stub 1–10 ms. *)
+  | Manual
+      (** The paper's manually-set latencies: 20 ms inter-transit, 5 ms
+          intra-transit, 2 ms transit-stub, 1 ms intra-stub. *)
+
+type link_class = Inter_transit | Intra_transit | Transit_stub_link | Intra_stub
+
+type params = {
+  transit_domains : int;  (** number of transit domains (>= 1) *)
+  transit_nodes_per_domain : int;  (** transit nodes per domain (>= 1) *)
+  stubs_per_transit_node : int;  (** stub domains attached to each transit node *)
+  stub_size : int;  (** nodes per stub domain (>= 1) *)
+  extra_domain_edges : int;  (** inter-domain links beyond the spanning tree *)
+  extra_edge_fraction : float;
+      (** extra random intra-domain/intra-stub edges, as a fraction of the
+          member count, on top of the random spanning tree *)
+  latency : latency_model;
+}
+
+type node_kind = Transit of { domain : int } | Stub_node of { stub : int }
+
+type t = {
+  graph : Graph.t;
+  params : params;
+  kind : node_kind array;  (** per node *)
+  transit_nodes : int array;  (** ids of all transit nodes *)
+  stub_members : int array array;  (** stub id -> member node ids *)
+  stub_of : int array;  (** node -> stub id, or -1 for transit nodes *)
+  stub_attach_stub_node : int array;  (** stub -> stub-side end of the access link *)
+  stub_attach_transit : int array;  (** stub -> transit-side end of the access link *)
+  stub_attach_weight : float array;  (** stub -> access-link latency *)
+}
+
+val total_nodes : params -> int
+(** Number of nodes the parameters will produce. *)
+
+val generate : Prelude.Rng.t -> params -> t
+(** Generate a topology.  The result is always connected.  Raises
+    [Invalid_argument] on nonsensical parameters. *)
+
+val tsk_large : ?latency:latency_model -> ?scale:int -> unit -> params
+(** The paper's [tsk-large]: a large backbone (8 transit domains, 6 transit
+    nodes each) with sparse edges (8 stubs per transit node, 26 nodes per
+    stub) — about 10,000 nodes at [scale = 1].  [scale] divides the stub
+    size to produce smaller variants for tests. *)
+
+val tsk_small : ?latency:latency_model -> ?scale:int -> unit -> params
+(** The paper's [tsk-small]: a small backbone (2 transit domains, 4 transit
+    nodes each) with dense stubs (4 stubs per transit node, 312 nodes per
+    stub) — about 10,000 nodes at [scale = 1]. *)
+
+val classify_link : t -> int -> int -> link_class
+(** Class of an existing link given its two endpoints.  Raises
+    [Invalid_argument] if the nodes are not adjacent. *)
+
+val pp_params : Format.formatter -> params -> unit

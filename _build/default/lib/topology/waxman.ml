@@ -1,0 +1,47 @@
+module Rng = Prelude.Rng
+
+type params = {
+  nodes : int;
+  alpha : float;
+  beta : float;
+  latency_per_unit : float;
+  min_latency : float;
+}
+
+let default ?(nodes = 2000) () =
+  { nodes; alpha = 0.15; beta = 0.05; latency_per_unit = 100.0; min_latency = 0.5 }
+
+let generate rng p =
+  if p.nodes < 1 then invalid_arg "Waxman.generate: need at least one node";
+  if p.alpha <= 0.0 then invalid_arg "Waxman.generate: alpha must be positive";
+  if not (p.beta >= 0.0 && p.beta <= 1.0) then invalid_arg "Waxman.generate: beta out of [0,1]";
+  if p.latency_per_unit <= 0.0 then invalid_arg "Waxman.generate: latency scale must be positive";
+  let xs = Array.init p.nodes (fun _ -> Rng.float rng 1.0) in
+  let ys = Array.init p.nodes (fun _ -> Rng.float rng 1.0) in
+  let plane_dist u v =
+    let dx = xs.(u) -. xs.(v) and dy = ys.(u) -. ys.(v) in
+    sqrt ((dx *. dx) +. (dy *. dy))
+  in
+  let latency u v = p.min_latency +. (plane_dist u v *. p.latency_per_unit) in
+  let seen = Hashtbl.create (4 * p.nodes) in
+  let edges = ref [] in
+  let add u v =
+    let key = if u < v then (u, v) else (v, u) in
+    if u <> v && not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      edges := (u, v, latency u v) :: !edges
+    end
+  in
+  (* Connectivity backbone: random recursive tree. *)
+  for i = 1 to p.nodes - 1 do
+    add (Rng.int rng i) i
+  done;
+  (* Waxman edges. *)
+  let diameter = sqrt 2.0 in
+  for u = 0 to p.nodes - 1 do
+    for v = u + 1 to p.nodes - 1 do
+      let prob = p.beta *. exp (-.plane_dist u v /. (p.alpha *. diameter)) in
+      if Rng.chance rng prob then add u v
+    done
+  done;
+  Graph.make p.nodes !edges

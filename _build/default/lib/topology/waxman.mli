@@ -1,0 +1,26 @@
+(** Waxman random-graph topology (BRITE's flat router-level model).
+
+    Nodes are placed uniformly in the unit square; each pair is linked
+    with probability [beta * exp (-d / (alpha * L))] where [d] is their
+    Euclidean distance and [L] the plane's diameter.  Link latency is
+    proportional to distance.  A random spanning tree guarantees
+    connectivity.
+
+    Used by the robustness ablation: the paper's technique should not
+    depend on the transit-stub hierarchy, and this model has none. *)
+
+type params = {
+  nodes : int;
+  alpha : float;  (** distance decay (larger = longer links likelier) *)
+  beta : float;  (** overall edge density *)
+  latency_per_unit : float;  (** ms per unit of plane distance *)
+  min_latency : float;  (** floor added to every link, ms *)
+}
+
+val default : ?nodes:int -> unit -> params
+(** 2000 nodes, alpha 0.15, beta 0.05, 100 ms across the plane, 0.5 ms
+    floor — average degree around 6. *)
+
+val generate : Prelude.Rng.t -> params -> Graph.t
+(** Always connected.  Raises [Invalid_argument] on non-positive sizes or
+    out-of-range probabilities. *)

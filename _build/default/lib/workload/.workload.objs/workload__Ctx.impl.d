@@ -1,0 +1,1 @@
+lib/workload/ctx.ml: Hashtbl Prelude Printf Topology

@@ -1,0 +1,1 @@
+lib/workload/exp_condense.ml: Core Ctx List Prelude Printf Softstate Tableout Topology

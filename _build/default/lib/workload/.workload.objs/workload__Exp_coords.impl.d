@@ -1,0 +1,1 @@
+lib/workload/exp_coords.ml: Array Ctx Format Hashtbl Landmark List Prelude Proximity Tableout Topology

@@ -1,0 +1,1 @@
+lib/workload/exp_cost.ml: Array Can Core Ctx Ecan Exp_nn Format List Printf Softstate Tableout Topology

@@ -1,0 +1,1 @@
+lib/workload/exp_cost.mli: Format

@@ -1,0 +1,1 @@
+lib/workload/exp_hops.ml: Can Ecan Geometry List Prelude Tableout

@@ -1,0 +1,1 @@
+lib/workload/exp_nn.ml: Array Can Ctx Geometry Hashtbl Landmark List Prelude Printf Proximity Tableout Topology

@@ -1,0 +1,1 @@
+lib/workload/exp_nn.mli: Ctx Format

@@ -1,0 +1,1 @@
+lib/workload/exp_optim.ml: Array Can Core Ctx Float Geometry Hashtbl Landmark List Prelude Printf Proximity Tableout Topology

@@ -1,0 +1,1 @@
+lib/workload/exp_optim.mli: Format

@@ -1,0 +1,1 @@
+lib/workload/exp_qos.ml: Array Can Core Ctx Ecan Float Geometry Hashtbl List Option Prelude Printf Softstate Tableout Topology

@@ -1,0 +1,1 @@
+lib/workload/exp_scale.ml: Core Ctx List Prelude Tableout Topology

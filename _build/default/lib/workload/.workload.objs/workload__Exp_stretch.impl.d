@@ -1,0 +1,1 @@
+lib/workload/exp_stretch.ml: Core Ctx List Prelude Printf Tableout Topology

@@ -1,0 +1,1 @@
+lib/workload/exp_tacan.ml: Array Can Ctx Float Geometry Hashtbl Landmark List Prelude Printf Tableout Topology

@@ -1,0 +1,1 @@
+lib/workload/exp_taxonomy.ml: Array Can Core Ctx Ecan Float Geometry Hashtbl Landmark List Prelude Printf Tableout Topology

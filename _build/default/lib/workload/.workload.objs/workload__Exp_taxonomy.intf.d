@@ -1,0 +1,1 @@
+lib/workload/exp_taxonomy.mli: Format

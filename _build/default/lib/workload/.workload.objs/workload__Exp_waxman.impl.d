@@ -1,0 +1,1 @@
+lib/workload/exp_waxman.ml: Array Can Core Geometry Hashtbl Landmark List Prelude Printf Proximity Tableout Topology

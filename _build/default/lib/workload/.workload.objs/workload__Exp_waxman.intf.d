@@ -1,0 +1,1 @@
+lib/workload/exp_waxman.mli: Format

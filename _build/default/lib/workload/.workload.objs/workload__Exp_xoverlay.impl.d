@@ -1,0 +1,1 @@
+lib/workload/exp_xoverlay.ml: Array Chord Ctx Format Hashtbl Landmark List Pastry Prelude Printf Tableout Topology

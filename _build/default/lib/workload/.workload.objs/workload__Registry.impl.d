@@ -1,0 +1,1 @@
+lib/workload/registry.ml: Exp_condense Exp_coords Exp_cost Exp_gap Exp_hops Exp_nn Exp_optim Exp_params Exp_qos Exp_scale Exp_stretch Exp_tacan Exp_taxonomy Exp_waxman Exp_xoverlay Format List

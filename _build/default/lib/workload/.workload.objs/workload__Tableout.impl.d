@@ -1,0 +1,1 @@
+lib/workload/tableout.ml: Float Format List Printf String

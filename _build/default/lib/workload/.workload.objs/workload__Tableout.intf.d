@@ -1,0 +1,1 @@
+lib/workload/tableout.mli: Format

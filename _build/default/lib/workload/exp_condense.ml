@@ -1,0 +1,46 @@
+module Builder = Core.Builder
+module Strategy = Core.Strategy
+module Measure = Core.Measure
+module Store = Softstate.Store
+
+let rates = [ 0.0625; 0.25; 1.0; 2.0; 4.0; 8.0 ]
+let overlay_size = 4096
+let measure_pairs = 1024
+
+let fig16 ?(scale = 1) ppf =
+  let oracle = Ctx.oracle ~scale Ctx.Tsk_large Topology.Transit_stub.Manual in
+  let size = max 128 (overlay_size / scale) in
+  let table =
+    Tableout.create
+      ~title:
+        (Printf.sprintf
+           "Figure 16: map reduction rate vs entries/node and stretch (tsk-large, manual, %d nodes)"
+           size)
+      ~columns:[ "reduction rate"; "entries / hosting node"; "p90 entries"; "hosting nodes"; "stretch" ]
+  in
+  List.iter
+    (fun condense ->
+      let b =
+        Builder.build oracle
+          {
+            Builder.default_config with
+            Builder.overlay_size = size;
+            condense;
+            strategy = Strategy.hybrid ~rtts:10 ();
+            seed = 42;
+          }
+      in
+      let hosting = Store.hosting_stats b.Builder.store in
+      let stretch =
+        (Measure.route_stretch ~pairs:measure_pairs b).Measure.stretch.Prelude.Stats.mean
+      in
+      Tableout.add_row table
+        [
+          Printf.sprintf "%.2f" condense;
+          Tableout.cell_f hosting.Prelude.Stats.mean;
+          Tableout.cell_f hosting.Prelude.Stats.p90;
+          Tableout.cell_i hosting.Prelude.Stats.count;
+          Tableout.cell_f stretch;
+        ])
+    rates;
+  Tableout.render ppf table

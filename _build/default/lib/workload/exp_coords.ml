@@ -1,0 +1,76 @@
+module Oracle = Topology.Oracle
+module Landmarks = Landmark.Landmarks
+module Coordinates = Landmark.Coordinates
+module Search = Proximity.Search
+module Stats = Prelude.Stats
+module Rng = Prelude.Rng
+
+let landmark_count = 15
+let population = 2000
+let query_count = 60
+let estimate_pairs = 2000
+let budgets = [ 1; 5; 10; 20 ]
+
+let run ?(scale = 1) ppf =
+  let oracle = Ctx.oracle ~scale Ctx.Tsk_large Topology.Transit_stub.Gtitm_random in
+  let rng = Rng.create 2718 in
+  let n = Oracle.node_count oracle in
+  let size = max 256 (population / scale) in
+  let all = Array.init n (fun i -> i) in
+  let nodes = Rng.sample rng size all in
+  let lms = Landmarks.choose rng oracle landmark_count in
+  let embedding = Coordinates.embed_landmarks rng oracle (Landmarks.nodes lms) in
+  let vectors = Hashtbl.create size and coords = Hashtbl.create size in
+  Array.iter
+    (fun node ->
+      let v = Landmarks.vector lms node in
+      Hashtbl.replace vectors node v;
+      Hashtbl.replace coords node (Coordinates.position ~iterations:200 embedding rng ~measured:v))
+    nodes;
+  (* 1. raw estimation accuracy over random pairs *)
+  let errors =
+    Array.init estimate_pairs (fun _ ->
+        let a = Rng.pick rng nodes and b = Rng.pick rng nodes in
+        let actual = Oracle.dist oracle a b in
+        if actual > 0.0 then
+          Coordinates.relative_error ~actual
+            ~estimated:(Coordinates.estimate (Hashtbl.find coords a) (Hashtbl.find coords b))
+        else 0.0)
+  in
+  let err = Stats.summarize errors in
+  Format.fprintf ppf
+    "@.== Ablation: GNP coordinates (%d-d, %d landmarks) ==@.  distance estimation relative error: mean %.3f  p50 %.3f  p90 %.3f@."
+    embedding.Coordinates.dims landmark_count err.Stats.mean err.Stats.p50 err.Stats.p90;
+  (* 2. NN pre-selection quality: rank candidates by landmark-vector
+     distance vs by coordinate distance, probe top-k by RTT *)
+  let queries = Rng.sample rng (min query_count size) nodes in
+  let avg signal =
+    let per_budget = Array.make (List.length budgets) 0.0 in
+    Array.iter
+      (fun query ->
+        let _, optimal = Search.true_nearest oracle ~query ~candidates:nodes in
+        let curve =
+          Search.hybrid_curve oracle ~vector_of:signal ~candidates:nodes ~query
+            ~budget:(List.fold_left max 1 budgets)
+        in
+        let stretch = Search.stretch_curve curve ~optimal in
+        List.iteri
+          (fun i b ->
+            per_budget.(i) <-
+              per_budget.(i) +. stretch.(min (b - 1) (Array.length stretch - 1)))
+          budgets)
+      queries;
+    Array.map (fun v -> v /. float_of_int (Array.length queries)) per_budget
+  in
+  let by_vector = avg (fun node -> Hashtbl.find vectors node) in
+  let by_coords = avg (fun node -> Hashtbl.find coords node) in
+  let table =
+    Tableout.create ~title:"NN-search stretch by pre-selection signal"
+      ~columns:[ "RTT budget"; "landmark vectors (paper)"; "GNP coordinates" ]
+  in
+  List.iteri
+    (fun i b ->
+      Tableout.add_row table
+        [ Tableout.cell_i b; Tableout.cell_f by_vector.(i); Tableout.cell_f by_coords.(i) ])
+    budgets;
+  Tableout.render ppf table

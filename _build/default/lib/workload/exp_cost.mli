@@ -1,0 +1,10 @@
+(** The paper's cost argument quantified: to find a nearby neighbor at a
+    given accuracy, how many probe messages does each technique spend, and
+    what does maintaining the global soft-state cost instead?
+
+    Probes-to-reach-target come from the Figures 3/4 curves; the
+    soft-state side counts the actual messages of a node's join
+    (landmark measurements, per-region publishes, one map lookup and the
+    RTT probes). *)
+
+val run : ?scale:int -> Format.formatter -> unit

@@ -1,0 +1,5 @@
+(** Figure 2: logical routing hops, eCAN vs plain CAN of dimensionality
+    2-5, as overlay size grows.  Purely logical (no physical topology). *)
+
+val run : ?scale:int -> Format.formatter -> unit
+(** Print the hop-count series.  [scale] divides the overlay sizes. *)

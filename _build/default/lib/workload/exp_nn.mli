@@ -1,0 +1,24 @@
+(** Figures 3-6: finding the nearest neighbor — expanding-ring search vs
+    the landmark+RTT hybrid, on tsk-large and tsk-small.
+
+    Stretch here is the NN-search stretch: distance to the node the
+    algorithm returns over the distance to the true nearest node,
+    averaged over query nodes, as a function of the RTT-measurement
+    budget. *)
+
+val fig3 : ?scale:int -> Format.formatter -> unit
+(** ERS vs hybrid on tsk-large (moderate budgets). *)
+
+val fig4 : ?scale:int -> Format.formatter -> unit
+(** ERS alone on tsk-large, budgets into the thousands. *)
+
+val fig5 : ?scale:int -> Format.formatter -> unit
+(** Hybrid on tsk-small. *)
+
+val fig6 : ?scale:int -> Format.formatter -> unit
+(** ERS alone on tsk-small, budgets into the thousands. *)
+
+val data : ?scale:int -> Ctx.topology_variant -> float array * float array
+(** The averaged best-so-far stretch curves [(ers, hybrid)] behind the
+    figures ([curve.(k-1)] = stretch after [k] measurements), cached per
+    variant; used by the cost experiment. *)

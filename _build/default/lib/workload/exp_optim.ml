@@ -1,0 +1,149 @@
+module Oracle = Topology.Oracle
+module Landmarks = Landmark.Landmarks
+module Number = Landmark.Number
+module Search = Proximity.Search
+module Can_overlay = Can.Overlay
+module Builder = Core.Builder
+module Strategy = Core.Strategy
+module Measure = Core.Measure
+module Point = Geometry.Point
+module Rng = Prelude.Rng
+
+let landmark_count = 15
+let groups = 3
+let population = 2000
+let query_count = 60
+let budgets = [ 1; 5; 10; 20 ]
+
+let sub_dist a b lo hi =
+  let acc = ref 0.0 in
+  for i = lo to hi - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt !acc
+
+let nn_ablation ~scale oracle ppf =
+  let rng = Rng.create 1618 in
+  let n = Oracle.node_count oracle in
+  let size = max 256 (population / scale) in
+  let nodes = Rng.sample rng size (Array.init n (fun i -> i)) in
+  let lms = Landmarks.choose rng oracle landmark_count in
+  let vectors = Hashtbl.create size in
+  Array.iter (fun node -> Hashtbl.replace vectors node (Landmarks.vector lms node)) nodes;
+  let vec node = Hashtbl.find vectors node in
+  (* a CAN over the population, for the link-walking heuristics *)
+  let can = Can_overlay.create ~dims:2 nodes.(0) in
+  for i = 1 to size - 1 do
+    ignore (Can_overlay.join can nodes.(i) (Point.random rng 2))
+  done;
+  let queries = Rng.sample rng (min query_count size) nodes in
+  let group_span = landmark_count / groups in
+  let avg curve_fn =
+    let per_budget = Array.make (List.length budgets) 0.0 in
+    Array.iter
+      (fun query ->
+        let _, optimal = Search.true_nearest oracle ~query ~candidates:nodes in
+        let curve : Search.curve = curve_fn query in
+        let stretch = Search.stretch_curve curve ~optimal in
+        let len = Array.length stretch in
+        List.iteri
+          (fun i b -> per_budget.(i) <- per_budget.(i) +. stretch.(min (b - 1) (len - 1)))
+          budgets)
+      queries;
+    Array.map (fun v -> v /. float_of_int (Array.length queries)) per_budget
+  in
+  let max_budget = List.fold_left max 1 budgets in
+  let plain =
+    avg (fun query ->
+        Search.hybrid_curve oracle ~vector_of:vec ~candidates:nodes ~query ~budget:max_budget)
+  in
+  let grouped =
+    (* best per-group match: a candidate matching the query well on ANY
+       landmark group ranks high, cutting false clustering caused by a
+       single unlucky group *)
+    avg (fun query ->
+        let qv = vec query in
+        Search.ranked_curve oracle
+          ~score:(fun c ->
+            let cv = vec c in
+            let best = ref infinity in
+            for g = 0 to groups - 1 do
+              let lo = g * group_span in
+              let hi = if g = groups - 1 then landmark_count else lo + group_span in
+              best := Float.min !best (sub_dist qv cv lo hi)
+            done;
+            !best)
+          ~candidates:nodes ~query ~budget:max_budget)
+  in
+  let hierarchical =
+    (* coarse pre-selection on the first components, refined by the rest *)
+    let coarse = 5 in
+    avg (fun query ->
+        let qv = vec query in
+        Search.ranked_curve oracle
+          ~score:(fun c ->
+            let cv = vec c in
+            (1000.0 *. sub_dist qv cv 0 coarse) +. sub_dist qv cv coarse landmark_count)
+          ~candidates:nodes ~query ~budget:max_budget)
+  in
+  let hill =
+    avg (fun query -> Search.hill_climb_curve oracle can ~query ~budget:max_budget)
+  in
+  let ers = avg (fun query -> Search.ers_curve oracle can ~query ~budget:max_budget) in
+  let table =
+    Tableout.create
+      ~title:
+        (Printf.sprintf "Section 5.5 optimisations: NN-search stretch (%d candidates)" size)
+      ~columns:
+        [ "RTT budget"; "hybrid (paper)"; "landmark groups"; "hierarchical"; "hill climbing"; "ERS" ]
+  in
+  List.iteri
+    (fun i b ->
+      Tableout.add_row table
+        [
+          Tableout.cell_i b;
+          Tableout.cell_f plain.(i);
+          Tableout.cell_f grouped.(i);
+          Tableout.cell_f hierarchical.(i);
+          Tableout.cell_f hill.(i);
+          Tableout.cell_f ers.(i);
+        ])
+    budgets;
+  Tableout.render ppf table
+
+let curve_ablation ~scale oracle ppf =
+  let size = max 128 (2048 / scale) in
+  let table =
+    Tableout.create
+      ~title:
+        (Printf.sprintf
+           "Space-filling-curve choice for landmark numbers (eCAN %d nodes, hybrid rtts=10)" size)
+      ~columns:[ "curve"; "stretch"; "p90 stretch" ]
+  in
+  List.iter
+    (fun (name, curve) ->
+      let b =
+        Builder.build oracle
+          {
+            Builder.default_config with
+            Builder.overlay_size = size;
+            curve;
+            strategy = Strategy.hybrid ~rtts:10 ();
+            seed = 42;
+          }
+      in
+      let r = Measure.route_stretch ~pairs:1024 b in
+      Tableout.add_row table
+        [
+          name;
+          Tableout.cell_f r.Measure.stretch.Prelude.Stats.mean;
+          Tableout.cell_f r.Measure.stretch.Prelude.Stats.p90;
+        ])
+    [ ("hilbert", Number.Hilbert_curve); ("z-order", Number.Z_curve) ];
+  Tableout.render ppf table
+
+let run ?(scale = 1) ppf =
+  let oracle = Ctx.oracle ~scale Ctx.Tsk_large Topology.Transit_stub.Gtitm_random in
+  nn_ablation ~scale oracle ppf;
+  curve_ablation ~scale oracle ppf

@@ -1,0 +1,79 @@
+module Builder = Core.Builder
+module Strategy = Core.Strategy
+module Measure = Core.Measure
+
+let overlay_size = 4096
+let rtt_budgets = [ 1; 2; 5; 10; 20; 40 ]
+let landmark_counts = [ 10; 20 ]
+let measure_pairs = 2048
+
+let mean_stretch builder =
+  (Measure.route_stretch ~pairs:measure_pairs builder).Measure.stretch.Prelude.Stats.mean
+
+let figure ~title ~scale variant latency ppf =
+  let oracle = Ctx.oracle ~scale variant latency in
+  let size = max 128 (overlay_size / scale) in
+  (* One build per landmark count; strategies are swapped by rebuilding
+     the routing tables over the same overlay and soft state. *)
+  let builders =
+    List.map
+      (fun landmark_count ->
+        Builder.build oracle
+          {
+            Builder.default_config with
+            Builder.overlay_size = size;
+            landmark_count;
+            strategy = Strategy.Random_pick;
+            seed = 42;
+          })
+      landmark_counts
+  in
+  let columns =
+    ("RTTs" :: List.map (fun l -> Printf.sprintf "landmarks=%d" l) landmark_counts)
+    @ [ "optimal" ]
+  in
+  let table = Tableout.create ~title ~columns in
+  (* The optimal curve is flat in the RTT budget. *)
+  let reference = List.hd builders in
+  Builder.rebuild_tables reference Strategy.Optimal;
+  let optimal = mean_stretch reference in
+  List.iter
+    (fun rtts ->
+      let cells =
+        List.map
+          (fun b ->
+            Builder.rebuild_tables b (Strategy.hybrid ~rtts ());
+            Tableout.cell_f (mean_stretch b))
+          builders
+      in
+      Tableout.add_row table ((Tableout.cell_i rtts :: cells) @ [ Tableout.cell_f optimal ]))
+    rtt_budgets;
+  Tableout.render ppf table
+
+let fig10 ?(scale = 1) ppf =
+  figure ~scale Ctx.Tsk_large Topology.Transit_stub.Gtitm_random ppf
+    ~title:
+      (Printf.sprintf
+         "Figure 10: routing stretch vs RTT budget (tsk-large, GT-ITM latencies, %d nodes)"
+         (max 128 (overlay_size / scale)))
+
+let fig11 ?(scale = 1) ppf =
+  figure ~scale Ctx.Tsk_large Topology.Transit_stub.Manual ppf
+    ~title:
+      (Printf.sprintf
+         "Figure 11: routing stretch vs RTT budget (tsk-large, manual latencies, %d nodes)"
+         (max 128 (overlay_size / scale)))
+
+let fig12 ?(scale = 1) ppf =
+  figure ~scale Ctx.Tsk_small Topology.Transit_stub.Gtitm_random ppf
+    ~title:
+      (Printf.sprintf
+         "Figure 12: routing stretch vs RTT budget (tsk-small, GT-ITM latencies, %d nodes)"
+         (max 128 (overlay_size / scale)))
+
+let fig13 ?(scale = 1) ppf =
+  figure ~scale Ctx.Tsk_small Topology.Transit_stub.Manual ppf
+    ~title:
+      (Printf.sprintf
+         "Figure 13: routing stretch vs RTT budget (tsk-small, manual latencies, %d nodes)"
+         (max 128 (overlay_size / scale)))

@@ -1,0 +1,18 @@
+(** Figures 10-13: eCAN routing stretch as a function of the RTT budget
+    and the number of landmarks, with the optimal
+    (proximity-selection-with-infinite-RTTs) curve for reference.
+
+    One figure per (topology variant, latency model) combination, 4096
+    overlay nodes by default. *)
+
+val fig10 : ?scale:int -> Format.formatter -> unit
+(** tsk-large, GT-ITM random latencies. *)
+
+val fig11 : ?scale:int -> Format.formatter -> unit
+(** tsk-large, manual latencies. *)
+
+val fig12 : ?scale:int -> Format.formatter -> unit
+(** tsk-small, GT-ITM random latencies. *)
+
+val fig13 : ?scale:int -> Format.formatter -> unit
+(** tsk-small, manual latencies. *)

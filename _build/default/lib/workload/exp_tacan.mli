@@ -1,0 +1,7 @@
+(** §1 claim about Topologically-Aware CAN (geographic layout): binding
+    the overlay structure to the physical topology skews the zone-volume
+    distribution — a few nodes own most of the Cartesian space and
+    accumulate very large neighbor sets.  Compares landmark-positioned
+    joins against uniform joins. *)
+
+val run : ?scale:int -> Format.formatter -> unit

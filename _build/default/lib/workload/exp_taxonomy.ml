@@ -1,0 +1,143 @@
+module Oracle = Topology.Oracle
+module Can_overlay = Can.Overlay
+module Zone = Geometry.Zone
+module Point = Geometry.Point
+module Landmarks = Landmark.Landmarks
+module Number = Landmark.Number
+module Builder = Core.Builder
+module Strategy = Core.Strategy
+module Measure = Core.Measure
+module Stats = Prelude.Stats
+module Rng = Prelude.Rng
+
+let overlay_size = 2048
+let route_count = 2048
+let landmark_count = 15
+
+type outcome = { stretch : Stats.summary; hops : Stats.summary; max_neighbors : int }
+
+let max_neighbors can =
+  Array.fold_left
+    (fun acc id -> max acc (List.length (Can_overlay.node can id).Can_overlay.neighbors))
+    0 (Can_overlay.node_ids can)
+
+let measure_can oracle can route =
+  let ids = Can_overlay.node_ids can in
+  let rng = Rng.create 808 in
+  let stretches = ref [] and hops = ref [] in
+  for _ = 1 to route_count do
+    let src = Rng.pick rng ids in
+    let rec draw () =
+      let d = Rng.pick rng ids in
+      if d = src then draw () else d
+    in
+    let dst = draw () in
+    let target = Zone.center (Can_overlay.node can dst).Can_overlay.zone in
+    match route ~src target with
+    | None -> failwith "Exp_taxonomy: routing failed"
+    | Some path ->
+      let rec latency acc = function
+        | a :: (b :: _ as rest) -> latency (acc +. Oracle.dist oracle a b) rest
+        | [ _ ] | [] -> acc
+      in
+      let shortest = Oracle.dist oracle src dst in
+      if shortest > 0.0 then begin
+        stretches := latency 0.0 path /. shortest :: !stretches;
+        hops := float_of_int (List.length path - 1) :: !hops
+      end
+  done;
+  {
+    stretch = Stats.summarize (Array.of_list !stretches);
+    hops = Stats.summarize (Array.of_list !hops);
+    max_neighbors = max_neighbors can;
+  }
+
+let build_can oracle members ~point_of =
+  let rng = Rng.create 4243 in
+  let can = Can_overlay.create ~dims:2 members.(0) in
+  for i = 1 to Array.length members - 1 do
+    ignore (Can_overlay.join can members.(i) (point_of rng members.(i)))
+  done;
+  ignore oracle;
+  can
+
+let run ?(scale = 1) ppf =
+  let oracle = Ctx.oracle ~scale Ctx.Tsk_large Topology.Transit_stub.Gtitm_random in
+  let size = max 128 (overlay_size / scale) in
+  let rng = Rng.create 909 in
+  let all = Array.init (Oracle.node_count oracle) (fun i -> i) in
+  let members = Rng.sample rng size all in
+  let lms = Landmarks.choose rng oracle landmark_count in
+  let scheme =
+    Number.default_scheme ~max_latency:(Number.calibrate_max_latency oracle (Landmarks.nodes lms)) ()
+  in
+  let vectors = Hashtbl.create size in
+  let vector_of node =
+    match Hashtbl.find_opt vectors node with
+    | Some v -> v
+    | None ->
+      let v = Landmarks.vector lms node in
+      Hashtbl.replace vectors node v;
+      v
+  in
+  (* (1) topology-blind baseline: uniform layout + greedy routing *)
+  let uniform = build_can oracle members ~point_of:(fun rng _ -> Point.random rng 2) in
+  let baseline = measure_can oracle uniform (fun ~src p -> Can_overlay.route uniform ~src p) in
+  (* (2) geographic layout: landmark-positioned joins, greedy routing *)
+  let tacan_point rng vector =
+    let cell = Number.position_in_zone scheme (Zone.full 2) vector in
+    let half = 0.5 /. float_of_int (1 lsl scheme.Number.zone_bits) in
+    Array.map
+      (fun c ->
+        let v = c +. Rng.float_in rng (-.half) half in
+        if v < 0.0 then 0.0 else if v >= 1.0 then Float.pred 1.0 else v)
+      cell
+  in
+  let geo = build_can oracle members ~point_of:(fun rng node -> tacan_point rng (vector_of node)) in
+  let geographic = measure_can oracle geo (fun ~src p -> Can_overlay.route geo ~src p) in
+  (* (3) proximity routing: uniform layout, latency-aware forwarding *)
+  let proximity_routing =
+    measure_can oracle uniform (fun ~src p ->
+        Can_overlay.route_proximity uniform ~dist:(fun a b -> Oracle.dist oracle a b) ~src p)
+  in
+  (* (4) proximity-neighbor selection: the paper's hybrid eCAN *)
+  let b =
+    Builder.build oracle
+      {
+        Builder.default_config with
+        Builder.overlay_size = size;
+        landmark_count;
+        strategy = Strategy.hybrid ~rtts:10 ();
+        seed = 42;
+      }
+  in
+  let report = Measure.route_stretch ~pairs:route_count b in
+  let pns =
+    {
+      stretch = report.Measure.stretch;
+      hops = report.Measure.hops;
+      max_neighbors = max_neighbors (Ecan.Expressway.can b.Builder.ecan);
+    }
+  in
+  let table =
+    Tableout.create
+      ~title:
+        (Printf.sprintf "Taxonomy (Castro et al.): topology exploitation techniques (%d nodes)"
+           size)
+      ~columns:[ "technique"; "stretch"; "p90 stretch"; "hops"; "max neighbors" ]
+  in
+  let row name o =
+    Tableout.add_row table
+      [
+        name;
+        Tableout.cell_f o.stretch.Stats.mean;
+        Tableout.cell_f o.stretch.Stats.p90;
+        Tableout.cell_f o.hops.Stats.mean;
+        Tableout.cell_i o.max_neighbors;
+      ]
+  in
+  row "topology-blind CAN" baseline;
+  row "geographic layout (TA-CAN)" geographic;
+  row "proximity routing" proximity_routing;
+  row "proximity neighbor selection" pns;
+  Tableout.render ppf table

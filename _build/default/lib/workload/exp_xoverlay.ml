@@ -1,0 +1,240 @@
+module Oracle = Topology.Oracle
+module Ring = Chord.Ring
+module Mesh = Pastry.Mesh
+module Landmarks = Landmark.Landmarks
+module Number = Landmark.Number
+module Stats = Prelude.Stats
+module Rng = Prelude.Rng
+
+let overlay_size = 1024
+let landmark_count = 15
+let rtt_budget = 10
+let route_count = 2048
+
+type pick = node:int -> candidates:int array -> int option
+
+let random_pick rng : pick = fun ~node:_ ~candidates -> Some (Rng.pick rng candidates)
+
+let optimal_pick oracle : pick =
+ fun ~node ~candidates ->
+  match Oracle.nearest oracle node candidates with
+  | Some (best, _) -> Some best
+  | None -> None
+
+(* The soft-state hybrid, idealised to its information content: the map of
+   a region, keyed by landmark numbers, returns the entries closest to the
+   querying node in landmark space; the node then probes the top few by
+   RTT.  (The storage mechanics are exercised by the eCAN experiments;
+   Chord/Pastry maps would hold the same entries keyed by landmark number
+   on the ring / under the prefix.) *)
+let hybrid_pick oracle vector_of : pick =
+ fun ~node ~candidates ->
+  let qvec = vector_of node in
+  let ranked =
+    candidates
+    |> Array.to_list
+    |> List.filter (fun c -> c <> node)
+    |> List.map (fun c -> (Landmarks.vector_dist qvec (vector_of c), c))
+    |> List.sort compare
+    |> List.map snd
+  in
+  let rec probe best = function
+    | [] -> best
+    | c :: rest ->
+      let d = Oracle.measure oracle node c in
+      let best = match best with Some (bd, _) when bd <= d -> best | _ -> Some (d, c) in
+      probe best rest
+  in
+  match probe None (List.filteri (fun i _ -> i < rtt_budget) ranked) with
+  | Some (_, c) -> Some c
+  | None -> None
+
+let stretch_summary oracle routes =
+  let stretches =
+    List.filter_map
+      (fun (hops, shortest) ->
+        if shortest <= 0.0 then None
+        else begin
+          let rec latency acc = function
+            | a :: (b :: _ as rest) -> latency (acc +. Oracle.dist oracle a b) rest
+            | [ _ ] | [] -> acc
+          in
+          Some (latency 0.0 hops /. shortest)
+        end)
+      routes
+  in
+  Stats.summarize (Array.of_list stretches)
+
+let chord_stretch oracle members pick_name pick =
+  let rng = Rng.create 31337 in
+  let ring = Ring.create () in
+  Array.iter (fun id -> Ring.add_node ring ~rng id) members;
+  Ring.build_fingers ring ~selector:(fun ~node ~arc:_ ~candidates -> pick ~node ~candidates);
+  let route_rng = Rng.create 555 in
+  let routes = ref [] in
+  for _ = 1 to route_count do
+    let src = Rng.pick route_rng members in
+    let key = Rng.int route_rng (1 lsl Ring.key_bits ring) in
+    match Ring.route ring ~src ~key with
+    | Some hops ->
+      let owner = Ring.successor_node ring key in
+      routes := (hops, Oracle.dist oracle src owner) :: !routes
+    | None -> failwith ("chord routing failed under " ^ pick_name)
+  done;
+  stretch_summary oracle !routes
+
+(* Chord with the soft-state map actually *stored on the ring* (appendix
+   placement: entry key = landmark number scaled into the id space): finger
+   selection does a real map lookup constrained to the finger arc, then
+   probes the returned candidates by RTT. *)
+let chord_ringmap_stretch oracle members scheme vector_of =
+  let rng = Rng.create 31339 in
+  let ring = Ring.create () in
+  Array.iter (fun id -> Ring.add_node ring ~rng id) members;
+  let map = Chord.Softmap.create ~scheme ring in
+  Array.iter (fun id -> Chord.Softmap.publish map ~node:id ~vector:(vector_of id)) members;
+  let fallback_rng = Rng.create 31340 in
+  Ring.build_fingers ring ~selector:(fun ~node ~arc ~candidates ->
+      let entries =
+        Chord.Softmap.lookup map ~vector:(vector_of node) ~in_arc:arc
+          ~max_results:rtt_budget ~ttl:64 ()
+      in
+      let entries = List.filter (fun e -> e.Chord.Softmap.node <> node) entries in
+      match entries with
+      | [] -> Some (Rng.pick fallback_rng candidates)
+      | entries ->
+        let best = ref None in
+        List.iter
+          (fun (e : Chord.Softmap.entry) ->
+            let d = Oracle.measure oracle node e.Chord.Softmap.node in
+            match !best with
+            | Some (bd, _) when bd <= d -> ()
+            | _ -> best := Some (d, e.Chord.Softmap.node))
+          entries;
+        (match !best with Some (_, c) -> Some c | None -> None));
+  let route_rng = Rng.create 555 in
+  let routes = ref [] in
+  for _ = 1 to route_count do
+    let src = Rng.pick route_rng members in
+    let key = Rng.int route_rng (1 lsl Ring.key_bits ring) in
+    match Ring.route ring ~src ~key with
+    | Some hops ->
+      let owner = Ring.successor_node ring key in
+      routes := (hops, Oracle.dist oracle src owner) :: !routes
+    | None -> failwith "chord routing failed under ring-map hybrid"
+  done;
+  stretch_summary oracle !routes
+
+(* Pastry with prefix-region maps actually stored on the mesh (appendix
+   placement: entry id = region prefix ++ landmark-number digits). *)
+let pastry_prefixmap_stretch oracle members scheme vector_of =
+  let rng = Rng.create 31341 in
+  let mesh = Mesh.create () in
+  Array.iter (fun id -> Mesh.add_node mesh ~rng id) members;
+  let map = Pastry.Softmap.create ~scheme mesh in
+  Array.iter (fun id -> Pastry.Softmap.publish_all map ~node:id ~vector:(vector_of id)) members;
+  let fallback_rng = Rng.create 31342 in
+  Mesh.build_tables mesh ~selector:(fun ~node ~prefix ~candidates ->
+      let entries =
+        Pastry.Softmap.lookup map ~prefix ~vector:(vector_of node) ~max_results:rtt_budget
+          ~ttl:16 ()
+      in
+      let entries =
+        List.filter (fun (e : Pastry.Softmap.entry) -> e.Pastry.Softmap.node <> node) entries
+      in
+      match entries with
+      | [] -> Some (Rng.pick fallback_rng candidates)
+      | entries ->
+        let best = ref None in
+        List.iter
+          (fun (e : Pastry.Softmap.entry) ->
+            let d = Oracle.measure oracle node e.Pastry.Softmap.node in
+            match !best with
+            | Some (bd, _) when bd <= d -> ()
+            | _ -> best := Some (d, e.Pastry.Softmap.node))
+          entries;
+        (match !best with Some (_, c) -> Some c | None -> None));
+  let route_rng = Rng.create 556 in
+  let space = 1 lsl (Mesh.digit_bits mesh * Mesh.num_digits mesh) in
+  let routes = ref [] in
+  for _ = 1 to route_count do
+    let src = Rng.pick route_rng members in
+    let key = Rng.int route_rng space in
+    match Mesh.route mesh ~src ~key with
+    | Some hops ->
+      let owner = Mesh.owner_of mesh key in
+      routes := (hops, Oracle.dist oracle src owner) :: !routes
+    | None -> failwith "pastry routing failed under prefix-map hybrid"
+  done;
+  stretch_summary oracle !routes
+
+let pastry_stretch oracle members pick_name pick =
+  let rng = Rng.create 31338 in
+  let mesh = Mesh.create () in
+  Array.iter (fun id -> Mesh.add_node mesh ~rng id) members;
+  Mesh.build_tables mesh ~selector:(fun ~node ~prefix:_ ~candidates -> pick ~node ~candidates);
+  let route_rng = Rng.create 556 in
+  let space = 1 lsl (Mesh.digit_bits mesh * Mesh.num_digits mesh) in
+  let routes = ref [] in
+  for _ = 1 to route_count do
+    let src = Rng.pick route_rng members in
+    let key = Rng.int route_rng space in
+    match Mesh.route mesh ~src ~key with
+    | Some hops ->
+      let owner = Mesh.owner_of mesh key in
+      routes := (hops, Oracle.dist oracle src owner) :: !routes
+    | None -> failwith ("pastry routing failed under " ^ pick_name)
+  done;
+  stretch_summary oracle !routes
+
+let run ?(scale = 1) ppf =
+  let oracle = Ctx.oracle ~scale Ctx.Tsk_large Topology.Transit_stub.Manual in
+  let size = max 128 (overlay_size / scale) in
+  let rng = Rng.create 777 in
+  let all = Array.init (Oracle.node_count oracle) (fun i -> i) in
+  let members = Rng.sample rng size all in
+  let lms = Landmarks.choose rng oracle landmark_count in
+  let vectors = Hashtbl.create size in
+  Array.iter (fun m -> Hashtbl.replace vectors m (Landmarks.vector lms m)) members;
+  let vector_of node = Hashtbl.find vectors node in
+  let table =
+    Tableout.create
+      ~title:
+        (Printf.sprintf
+           "Generality: proximity selection on Chord and Pastry (%d nodes, tsk-large manual)"
+           size)
+      ~columns:[ "overlay"; "random"; "hybrid (lmk+RTT)"; "optimal" ]
+  in
+  let strategies oracle =
+    [
+      ("random", random_pick (Rng.create 1));
+      ("hybrid", hybrid_pick oracle vector_of);
+      ("optimal", optimal_pick oracle);
+    ]
+  in
+  let row name runner =
+    let cells =
+      List.map
+        (fun (pick_name, pick) ->
+          Tableout.cell_f (runner oracle members pick_name pick).Stats.mean)
+        (strategies oracle)
+    in
+    Tableout.add_row table (name :: cells)
+  in
+  row "Chord" chord_stretch;
+  row "Pastry" pastry_stretch;
+  Tableout.render ppf table;
+  (* The ring-map variant exercises the actual on-ring storage path. *)
+  let scheme =
+    Number.default_scheme
+      ~max_latency:(Number.calibrate_max_latency oracle (Landmarks.nodes lms))
+      ()
+  in
+  let ringmap = chord_ringmap_stretch oracle members scheme vector_of in
+  Format.fprintf ppf
+    "  Chord with the map stored on the ring itself: stretch %.3f (vs idealised hybrid above)@."
+    ringmap.Stats.mean;
+  let prefixmap = pastry_prefixmap_stretch oracle members scheme vector_of in
+  Format.fprintf ppf
+    "  Pastry with maps stored under the prefixes:   stretch %.3f (vs idealised hybrid above)@."
+    prefixmap.Stats.mean

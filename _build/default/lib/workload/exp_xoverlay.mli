@@ -1,0 +1,6 @@
+(** §5 generality claim: the landmark+RTT selection technique applies to
+    any overlay with neighbor-selection flexibility.  Runs Chord (finger
+    arcs) and Pastry (prefix regions) under random / hybrid / optimal
+    selection and reports routing stretch. *)
+
+val run : ?scale:int -> Format.formatter -> unit

@@ -1,0 +1,28 @@
+type t = { title : string; columns : string list; mutable rows : string list list }
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Tableout.add_row: cell count mismatch";
+  t.rows <- row :: t.rows
+
+let render ppf t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.fold_left
+      (fun widths row -> List.map2 (fun w c -> max w (String.length c)) widths row)
+      (List.map String.length t.columns)
+      rows
+  in
+  let print_row cells =
+    let padded = List.map2 (fun w c -> c ^ String.make (w - String.length c) ' ') widths cells in
+    Format.fprintf ppf "  %s@." (String.concat "  " padded)
+  in
+  Format.fprintf ppf "@.== %s ==@." t.title;
+  print_row t.columns;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let cell_f v = if Float.is_finite v then Printf.sprintf "%.3f" v else "inf"
+let cell_i = string_of_int

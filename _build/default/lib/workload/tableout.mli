@@ -1,0 +1,17 @@
+(** Aligned plain-text table rendering for experiment output. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** Start a table with a title line and column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; must have as many cells as there are columns. *)
+
+val render : Format.formatter -> t -> unit
+(** Print title, header and rows with aligned columns. *)
+
+val cell_f : float -> string
+(** Format a float for a cell ("%.3f", infinity-safe). *)
+
+val cell_i : int -> string

@@ -1,0 +1,1 @@
+test/test_can.ml: Alcotest Array Can Geometry List Prelude QCheck QCheck_alcotest

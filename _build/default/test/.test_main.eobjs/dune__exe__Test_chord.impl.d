@@ -1,0 +1,1 @@
+test/test_chord.ml: Alcotest Array Chord List Prelude Printf QCheck QCheck_alcotest

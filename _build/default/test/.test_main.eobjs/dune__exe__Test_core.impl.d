@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Can Core Ecan Engine Hashtbl Lazy List Prelude Printf Pubsub Softstate Topology

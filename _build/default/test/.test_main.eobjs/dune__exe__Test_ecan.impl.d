@@ -1,0 +1,1 @@
+test/test_ecan.ml: Alcotest Array Can Ecan Geometry List Prelude Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_edges.ml: Alcotest Array Can Chord Core Ecan Engine Geometry Landmark List Option Pastry Prelude Printf Pubsub Softstate String Topology

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Can Chord Core Geometry Landmark Lazy List Pastry Prelude Printf Proximity Softstate Topology

@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Array Geometry Prelude Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_landmark.ml: Alcotest Array Geometry Hashtbl Landmark Lazy List Prelude Printf QCheck QCheck_alcotest Topology

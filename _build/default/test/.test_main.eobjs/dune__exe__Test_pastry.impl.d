@@ -1,0 +1,1 @@
+test/test_pastry.ml: Alcotest Array List Pastry Prelude Printf QCheck QCheck_alcotest

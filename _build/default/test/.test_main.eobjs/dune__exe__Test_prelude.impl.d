@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Array Float List Prelude QCheck QCheck_alcotest

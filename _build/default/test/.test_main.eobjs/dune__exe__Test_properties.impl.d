@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Can Chord Engine Float Gen Geometry Hashtbl Landmark List Prelude QCheck QCheck_alcotest Softstate Topology

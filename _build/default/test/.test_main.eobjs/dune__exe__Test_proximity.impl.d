@@ -1,0 +1,1 @@
+test/test_proximity.ml: Alcotest Array Can Float Geometry Landmark List Prelude Printf Proximity Topology

@@ -1,0 +1,1 @@
+test/test_pubsub.ml: Alcotest Array Can Engine Geometry Landmark List Prelude Printf Pubsub Softstate

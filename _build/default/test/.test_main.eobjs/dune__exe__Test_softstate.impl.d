@@ -1,0 +1,1 @@
+test/test_softstate.ml: Alcotest Array Can Geometry Landmark List Prelude Printf QCheck QCheck_alcotest Softstate

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Filename Float Fun List Prelude Printf QCheck QCheck_alcotest String Sys Topology

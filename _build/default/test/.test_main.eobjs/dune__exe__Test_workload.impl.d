@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Buffer Format List Printf String Topology Workload

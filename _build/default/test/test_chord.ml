@@ -1,0 +1,166 @@
+(* Tests for the Chord ring. *)
+
+module Ring = Chord.Ring
+module Rng = Prelude.Rng
+
+let random_selector rng ~node:_ ~arc:_ ~candidates = Some (Rng.pick rng candidates)
+
+let build ~n ~seed =
+  let rng = Rng.create seed in
+  let t = Ring.create () in
+  for id = 0 to n - 1 do
+    Ring.add_node t ~rng id
+  done;
+  let sel = Rng.create (seed + 1) in
+  Ring.build_fingers t ~selector:(random_selector sel);
+  (t, Rng.create (seed + 2))
+
+let check_ok = function Ok () -> () | Error e -> Alcotest.fail e
+
+let test_membership () =
+  let t, _ = build ~n:50 ~seed:1 in
+  Alcotest.(check int) "size" 50 (Ring.size t);
+  Alcotest.(check bool) "member" true (Ring.mem t 7);
+  Alcotest.(check bool) "non-member" false (Ring.mem t 99);
+  Alcotest.(check int) "node_ids count" 50 (Array.length (Ring.node_ids t))
+
+let test_duplicate_rejected () =
+  let t, _ = build ~n:3 ~seed:2 in
+  let rng = Rng.create 0 in
+  Alcotest.check_raises "dup" (Invalid_argument "Chord.add_node: already a member") (fun () ->
+      Ring.add_node t ~rng 1)
+
+let test_successor_owns_own_key () =
+  let t, _ = build ~n:40 ~seed:3 in
+  Array.iter
+    (fun id ->
+      Alcotest.(check int) "successor of own key is self" id
+        (Ring.successor_node t (Ring.key_of t id)))
+    (Ring.node_ids t)
+
+let test_successor_wraps () =
+  let t, _ = build ~n:10 ~seed:4 in
+  (* key beyond the largest member key wraps to the smallest *)
+  let keys = Array.map (Ring.key_of t) (Ring.node_ids t) in
+  Array.sort compare keys;
+  let largest = keys.(Array.length keys - 1) in
+  let smallest_owner = Ring.successor_node t 0 in
+  Alcotest.(check int) "wraps" smallest_owner (Ring.successor_node t (largest + 1))
+
+let test_arc_members () =
+  let t, _ = build ~n:64 ~seed:5 in
+  let ring = 1 lsl Ring.key_bits t in
+  (* The full ring (two half arcs) covers everyone exactly once. *)
+  let half = ring / 2 in
+  let a = Ring.arc_members t ~lo:0 ~span:half in
+  let b = Ring.arc_members t ~lo:half ~span:half in
+  Alcotest.(check int) "halves partition" 64 (Array.length a + Array.length b);
+  (* Each member of an arc really falls inside it. *)
+  Array.iter
+    (fun id ->
+      let k = Ring.key_of t id in
+      Alcotest.(check bool) "inside arc" true (k >= 0 && k < half))
+    a
+
+let test_arc_members_wrap () =
+  let t, _ = build ~n:64 ~seed:6 in
+  let ring = 1 lsl Ring.key_bits t in
+  let lo = ring - 100 in
+  let members = Ring.arc_members t ~lo ~span:200 in
+  Array.iter
+    (fun id ->
+      let k = Ring.key_of t id in
+      Alcotest.(check bool) "wrapped arc member" true (k >= lo || k < 100))
+    members
+
+let test_fingers_in_arcs () =
+  let t, _ = build ~n:100 ~seed:7 in
+  check_ok (Ring.check_invariants t)
+
+let test_route_reaches_owner () =
+  let t, rng = build ~n:150 ~seed:8 in
+  let ids = Ring.node_ids t in
+  let ring = 1 lsl Ring.key_bits t in
+  for _ = 1 to 300 do
+    let src = Rng.pick rng ids in
+    let key = Rng.int rng ring in
+    match Ring.route t ~src ~key with
+    | None -> Alcotest.fail "routing failed"
+    | Some hops ->
+      Alcotest.(check int) "src first" src (List.hd hops);
+      Alcotest.(check int) "owner last" (Ring.successor_node t key)
+        (List.nth hops (List.length hops - 1))
+  done
+
+let test_route_log_hops () =
+  let t, rng = build ~n:512 ~seed:9 in
+  let ids = Ring.node_ids t in
+  let ring = 1 lsl Ring.key_bits t in
+  let total = ref 0 in
+  let count = 300 in
+  for _ = 1 to count do
+    match Ring.route t ~src:(Rng.pick rng ids) ~key:(Rng.int rng ring) with
+    | Some hops -> total := !total + List.length hops - 1
+    | None -> Alcotest.fail "routing failed"
+  done;
+  let avg = float_of_int !total /. float_of_int count in
+  Alcotest.(check bool)
+    (Printf.sprintf "avg hops %.2f is logarithmic-ish (< 12 for 512 nodes)" avg)
+    true (avg < 12.0)
+
+let test_remove_node () =
+  let t, rng = build ~n:60 ~seed:10 in
+  let victims = Rng.sample rng 20 (Ring.node_ids t) in
+  Array.iter (fun id -> Ring.remove_node t id) victims;
+  Alcotest.(check int) "size" 40 (Ring.size t);
+  check_ok (Ring.check_invariants t);
+  (* routing still works after finger cleanup (no rebuild needed thanks to
+     successor fallback) *)
+  let ids = Ring.node_ids t in
+  for _ = 1 to 50 do
+    let key = Rng.int rng (1 lsl Ring.key_bits t) in
+    match Ring.route t ~src:(Rng.pick rng ids) ~key with
+    | None -> Alcotest.fail "routing failed after removals"
+    | Some hops ->
+      Alcotest.(check int) "owner reached" (Ring.successor_node t key)
+        (List.nth hops (List.length hops - 1))
+  done
+
+let test_single_node_ring () =
+  let rng = Rng.create 11 in
+  let t = Ring.create () in
+  Ring.add_node t ~rng 42;
+  Alcotest.(check int) "owns all keys" 42 (Ring.successor_node t 12345);
+  Alcotest.(check (option (list int))) "self route" (Some [ 42 ]) (Ring.route t ~src:42 ~key:7)
+
+let qcheck_route_reaches =
+  QCheck.Test.make ~name:"chord routing reaches the key successor" ~count:25
+    QCheck.(pair (int_range 0 1000) (int_range 1 80))
+    (fun (seed, n) ->
+      let t, rng = build ~n ~seed in
+      let ids = Ring.node_ids t in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let key = Rng.int rng (1 lsl Ring.key_bits t) in
+        match Ring.route t ~src:(Rng.pick rng ids) ~key with
+        | Some hops ->
+          if List.nth hops (List.length hops - 1) <> Ring.successor_node t key then ok := false
+        | None -> ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "membership" `Quick test_membership;
+    Alcotest.test_case "duplicate rejected" `Quick test_duplicate_rejected;
+    Alcotest.test_case "successor of own key" `Quick test_successor_owns_own_key;
+    Alcotest.test_case "successor wraps" `Quick test_successor_wraps;
+    Alcotest.test_case "arc membership" `Quick test_arc_members;
+    Alcotest.test_case "arc membership wraps" `Quick test_arc_members_wrap;
+    Alcotest.test_case "fingers live in arcs" `Quick test_fingers_in_arcs;
+    Alcotest.test_case "routing reaches owner" `Quick test_route_reaches_owner;
+    Alcotest.test_case "routing is logarithmic" `Quick test_route_log_hops;
+    Alcotest.test_case "node removal" `Quick test_remove_node;
+    Alcotest.test_case "single-node ring" `Quick test_single_node_ring;
+    QCheck_alcotest.to_alcotest qcheck_route_reaches;
+  ]

@@ -1,0 +1,309 @@
+(* Integration tests: Builder + Measure + Maintenance over a real
+   transit-stub topology. *)
+
+module Builder = Core.Builder
+module Strategy = Core.Strategy
+module Measure = Core.Measure
+module Maintenance = Core.Maintenance
+module Oracle = Topology.Oracle
+module Ts = Topology.Transit_stub
+module Can_overlay = Can.Overlay
+module Ecan_exp = Ecan.Expressway
+module Store = Softstate.Store
+module Sim = Engine.Sim
+module Rng = Prelude.Rng
+
+let oracle =
+  (* One shared small topology for the whole suite (cheap to build). *)
+  lazy
+    (let topo = Ts.generate (Rng.create 7) (Ts.tsk_large ~scale:16 ~latency:Ts.Manual ()) in
+     Oracle.build topo)
+
+let small_config strategy =
+  {
+    Builder.default_config with
+    Builder.overlay_size = 200;
+    landmark_count = 8;
+    strategy;
+    seed = 11;
+  }
+
+let test_build_basics () =
+  let b = Builder.build (Lazy.force oracle) (small_config (Strategy.hybrid ~rtts:5 ())) in
+  Alcotest.(check int) "members" 200 (Array.length b.Builder.members);
+  Alcotest.(check int) "overlay populated" 200 (Can_overlay.size (Ecan_exp.can b.Builder.ecan));
+  Alcotest.(check int) "every member has a vector" 200 (Hashtbl.length b.Builder.vectors);
+  Array.iter
+    (fun m ->
+      Alcotest.(check int) "vector dimensionality" 8 (Array.length (Builder.vector_of b m)))
+    b.Builder.members;
+  (* every member is published at least in the root map *)
+  Alcotest.(check int) "root map complete" 200
+    (List.length (Store.region_entries b.Builder.store [||]))
+
+let test_build_rejects_oversized () =
+  let o = Lazy.force oracle in
+  let config = { (small_config Strategy.Random_pick) with Builder.overlay_size = 10_000_000 } in
+  Alcotest.check_raises "too big" (Invalid_argument "Builder.build: overlay larger than the topology")
+    (fun () -> ignore (Builder.build o config))
+
+let test_determinism () =
+  let o = Lazy.force oracle in
+  let config = small_config (Strategy.hybrid ~rtts:4 ()) in
+  let b1 = Builder.build o config and b2 = Builder.build o config in
+  Alcotest.(check bool) "same membership" true (b1.Builder.members = b2.Builder.members);
+  let r1 = Measure.route_stretch ~pairs:50 b1 and r2 = Measure.route_stretch ~pairs:50 b2 in
+  Alcotest.(check (float 1e-9)) "same stretch" r1.Measure.stretch.Prelude.Stats.mean
+    r2.Measure.stretch.Prelude.Stats.mean
+
+let test_stretch_ordering () =
+  (* The paper's central claim at small scale:
+     optimal <= hybrid <= random (on average), and all >= 1. *)
+  let o = Lazy.force oracle in
+  let mean strategy =
+    let b = Builder.build o (small_config strategy) in
+    let r = Measure.route_stretch ~pairs:400 b in
+    r.Measure.stretch.Prelude.Stats.mean
+  in
+  let optimal = mean Strategy.Optimal in
+  let hybrid = mean (Strategy.hybrid ~rtts:10 ()) in
+  let random = mean Strategy.Random_pick in
+  Alcotest.(check bool) (Printf.sprintf "optimal %.3f >= 1" optimal) true (optimal >= 1.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "optimal %.3f <= hybrid %.3f (with slack)" optimal hybrid)
+    true
+    (optimal <= hybrid +. 0.05);
+  Alcotest.(check bool)
+    (Printf.sprintf "hybrid %.3f < random %.3f" hybrid random)
+    true (hybrid < random)
+
+let test_neighbor_quality_ordering () =
+  let o = Lazy.force oracle in
+  let quality strategy =
+    let b = Builder.build o (small_config strategy) in
+    (Measure.neighbor_quality b).Prelude.Stats.mean
+  in
+  let optimal = quality Strategy.Optimal in
+  let hybrid = quality (Strategy.hybrid ~rtts:10 ()) in
+  let random = quality Strategy.Random_pick in
+  Alcotest.(check (float 1e-9)) "optimal picks the best everywhere" 1.0 optimal;
+  Alcotest.(check bool)
+    (Printf.sprintf "hybrid %.2f closer to optimal than random %.2f" hybrid random)
+    true
+    (hybrid < random)
+
+let test_measure_samples () =
+  let o = Lazy.force oracle in
+  let b = Builder.build o (small_config (Strategy.hybrid ~rtts:5 ())) in
+  let r = Measure.route_stretch ~pairs:100 b in
+  Alcotest.(check int) "sample count" 100 (List.length r.Measure.samples);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "latency >= shortest" true
+        (s.Measure.latency >= s.Measure.shortest -. 1e-9);
+      Alcotest.(check bool) "hops >= 1" true (s.Measure.hops >= 1))
+    r.Measure.samples
+
+let test_can_vs_ecan_hops () =
+  let o = Lazy.force oracle in
+  let b = Builder.build o (small_config Strategy.Random_pick) in
+  let ecan = Measure.route_stretch ~pairs:150 b in
+  let can = Measure.can_route_report ~pairs:150 b in
+  Alcotest.(check bool)
+    (Printf.sprintf "ecan hops %.1f < can hops %.1f" ecan.Measure.hops.Prelude.Stats.mean
+       can.Measure.hops.Prelude.Stats.mean)
+    true
+    (ecan.Measure.hops.Prelude.Stats.mean < can.Measure.hops.Prelude.Stats.mean)
+
+let test_rebuild_tables_changes_strategy () =
+  let o = Lazy.force oracle in
+  let b = Builder.build o (small_config Strategy.Random_pick) in
+  let before = (Measure.neighbor_quality b).Prelude.Stats.mean in
+  Builder.rebuild_tables b Strategy.Optimal;
+  let after = (Measure.neighbor_quality b).Prelude.Stats.mean in
+  Alcotest.(check (float 1e-9)) "optimal after rebuild" 1.0 after;
+  Alcotest.(check bool) "was worse before" true (before > after)
+
+let test_dynamic_join_leave () =
+  let o = Lazy.force oracle in
+  let b = Builder.build o { (small_config (Strategy.hybrid ~rtts:4 ())) with Builder.overlay_size = 120 } in
+  let can = Ecan_exp.can b.Builder.ecan in
+  (* pick physical nodes not already members *)
+  let member_set = Hashtbl.create 128 in
+  Array.iter (fun m -> Hashtbl.replace member_set m ()) b.Builder.members;
+  let fresh = ref [] in
+  let i = ref 0 in
+  while List.length !fresh < 5 do
+    if not (Hashtbl.mem member_set !i) then fresh := !i :: !fresh;
+    incr i
+  done;
+  List.iter (fun node -> Builder.join_node b node) !fresh;
+  Alcotest.(check int) "grown" 125 (Can_overlay.size can);
+  Alcotest.(check bool) "store consistent after joins" true
+    (Store.check_invariants b.Builder.store = Ok ());
+  List.iter (fun node -> Builder.leave_node b node) !fresh;
+  Alcotest.(check int) "shrunk back" 120 (Can_overlay.size can);
+  Alcotest.(check bool) "store consistent after leaves" true
+    (Store.check_invariants b.Builder.store = Ok ());
+  (* routing still works *)
+  let r = Measure.route_stretch ~pairs:50 b in
+  Alcotest.(check int) "routes fine after churn" 50 (List.length r.Measure.samples)
+
+let test_maintenance_refresh_keeps_state_alive () =
+  let o = Lazy.force oracle in
+  let sim = Sim.create () in
+  let config = { (small_config (Strategy.hybrid ~rtts:4 ())) with Builder.overlay_size = 80 } in
+  let b = Builder.build ~clock:(fun () -> Sim.now sim) o config in
+  let m = Maintenance.start ~sim ~refresh_period:200_000.0 ~sweep_period:100_000.0 b in
+  (* default ttl 600s; run for 2,000s of virtual time *)
+  Sim.run ~until:2_000_000.0 sim;
+  Alcotest.(check bool) "refreshes happened" true (Maintenance.refreshes m > 0);
+  Alcotest.(check int) "root map still fully populated" 80
+    (List.length (Store.region_entries b.Builder.store [||]));
+  Maintenance.stop m;
+  (* without maintenance the state now decays *)
+  Sim.run ~until:4_000_000.0 sim;
+  ignore (Store.expire_sweep b.Builder.store);
+  Alcotest.(check int) "state expired after maintenance stopped" 0
+    (List.length (Store.region_entries b.Builder.store [||]))
+
+let test_maintenance_reselects_on_departure () =
+  let o = Lazy.force oracle in
+  let sim = Sim.create () in
+  let config = { (small_config (Strategy.hybrid ~rtts:4 ())) with Builder.overlay_size = 80 } in
+  let b = Builder.build ~clock:(fun () -> Sim.now sim) o config in
+  let m = Maintenance.start ~sim b in
+  Maintenance.subscribe_all_slots m;
+  (* find a node that is someone's table entry *)
+  let ecan = b.Builder.ecan in
+  let can = Ecan_exp.can ecan in
+  let victim = ref (-1) in
+  Array.iter
+    (fun id ->
+      if !victim = -1 then begin
+        match Ecan_exp.entries ecan id with
+        | (_, _, target) :: _ -> victim := target
+        | [] -> ()
+      end)
+    (Can_overlay.node_ids can);
+  Alcotest.(check bool) "found a victim" true (!victim >= 0);
+  Maintenance.node_departs m !victim;
+  (* bounded: the periodic refresh timers never exhaust the queue *)
+  Sim.run ~until:1_000_000.0 sim;
+  Alcotest.(check bool) "re-selections happened" true (Maintenance.reselections m > 0);
+  (* no table may still point at the departed node *)
+  Array.iter
+    (fun id ->
+      List.iter
+        (fun (_, _, target) ->
+          Alcotest.(check bool) "no dangling entry" true (target <> !victim))
+        (Ecan_exp.entries ecan id))
+    (Can_overlay.node_ids can)
+
+let test_liveness_polling_retracts_dead_entries () =
+  let o = Lazy.force oracle in
+  let sim = Sim.create () in
+  let config = { (small_config (Strategy.hybrid ~rtts:4 ())) with Builder.overlay_size = 60 } in
+  let b = Builder.build ~clock:(fun () -> Sim.now sim) o config in
+  let m = Maintenance.start ~sim b in
+  (* a "crashed" node: silently gone, its soft state left behind *)
+  let dead = b.Builder.members.(7) in
+  let departed = ref 0 in
+  let _sub =
+    Core.Maintenance.bus m
+    |> fun bus ->
+    Pubsub.Bus.subscribe bus ~subscriber:1 ~region:[||] ~condition:(Pubsub.Bus.Departure_of dead)
+      ~handler:(fun _ -> incr departed)
+  in
+  Maintenance.enable_liveness_polling m ~period:10_000.0 ~is_alive:(fun id -> id <> dead) ();
+  Alcotest.(check bool) "state present before polling" true
+    (Store.find b.Builder.store ~region:[||] ~node:dead <> None);
+  Sim.run ~until:25_000.0 sim;
+  Alcotest.(check bool) "dead node's state retracted" true
+    (Store.find b.Builder.store ~region:[||] ~node:dead = None);
+  Alcotest.(check int) "watchers notified" 1 !departed;
+  Maintenance.stop m
+
+let test_leave_rebuilds_relocated_tables () =
+  let o = Lazy.force oracle in
+  let b = Builder.build o { (small_config (Strategy.hybrid ~rtts:4 ())) with Builder.overlay_size = 120 } in
+  let ecan = b.Builder.ecan in
+  let can = Ecan_exp.can ecan in
+  (* remove a third of the membership through the public API *)
+  let victims = Prelude.Rng.sample (Rng.create 77) 40 (Can_overlay.node_ids can) in
+  Array.iter (fun v -> Builder.leave_node b v) victims;
+  let victim_set = Hashtbl.create 64 in
+  Array.iter (fun v -> Hashtbl.replace victim_set v ()) victims;
+  Array.iter
+    (fun id ->
+      List.iter
+        (fun (row, digit, target) ->
+          Alcotest.(check bool) "no dangling entries" false (Hashtbl.mem victim_set target);
+          (* every entry is a member of the region it represents *)
+          let region = Ecan_exp.region_prefix ecan id ~row ~digit in
+          let path = (Can_overlay.node can target).Can_overlay.path in
+          Alcotest.(check bool) "entry consistent with its region" true
+            (Array.length path >= Array.length region
+            && Array.for_all2 ( = ) region (Array.sub path 0 (Array.length region))))
+        (Ecan_exp.entries ecan id))
+    (Can_overlay.node_ids can);
+  (* and the store still matches the shrunken overlay *)
+  Alcotest.(check bool) "store consistent" true (Store.check_invariants b.Builder.store = Ok ());
+  let r = Measure.route_stretch ~pairs:80 b in
+  Alcotest.(check int) "routing intact" 80 (List.length r.Measure.samples)
+
+let test_strategy_validation () =
+  Alcotest.check_raises "hybrid rtts" (Invalid_argument "Strategy.hybrid: rtts must be >= 1")
+    (fun () -> ignore (Strategy.hybrid ~rtts:0 ()));
+  Alcotest.(check string) "hybrid print" "hybrid(rtts=7)"
+    (Strategy.to_string (Strategy.hybrid ~rtts:7 ()));
+  Alcotest.(check string) "random print" "random" (Strategy.to_string Strategy.Random_pick);
+  Alcotest.(check string) "optimal print" "optimal" (Strategy.to_string Strategy.Optimal)
+
+let test_maintenance_adopts_newcomers () =
+  let o = Lazy.force oracle in
+  let sim = Sim.create () in
+  let config = { (small_config (Strategy.hybrid ~rtts:4 ())) with Builder.overlay_size = 100 } in
+  let b = Builder.build ~clock:(fun () -> Sim.now sim) o config in
+  let m = Maintenance.start ~sim b in
+  Maintenance.subscribe_all_slots m;
+  let member_set = Hashtbl.create 128 in
+  Array.iter (fun x -> Hashtbl.replace member_set x ()) b.Builder.members;
+  let joined = ref 0 in
+  let i = ref 0 in
+  while !joined < 20 do
+    if not (Hashtbl.mem member_set !i) then begin
+      Maintenance.node_joins m !i;
+      incr joined
+    end;
+    incr i
+  done;
+  Sim.run ~until:500_000.0 sim;
+  Alcotest.(check bool) "newcomers triggered re-selections" true (Maintenance.reselections m > 0);
+  (* overlay remains routable and the store consistent *)
+  let r = Measure.route_stretch ~pairs:60 b in
+  Alcotest.(check int) "routes fine" 60 (List.length r.Measure.samples);
+  Alcotest.(check bool) "store consistent" true
+    (Store.check_invariants b.Builder.store = Ok ());
+  Maintenance.stop m
+
+let suite =
+  [
+    Alcotest.test_case "build basics" `Quick test_build_basics;
+    Alcotest.test_case "build validation" `Quick test_build_rejects_oversized;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "stretch ordering optimal<=hybrid<random" `Slow test_stretch_ordering;
+    Alcotest.test_case "neighbor quality ordering" `Slow test_neighbor_quality_ordering;
+    Alcotest.test_case "measurement samples" `Quick test_measure_samples;
+    Alcotest.test_case "ecan beats can on hops" `Quick test_can_vs_ecan_hops;
+    Alcotest.test_case "rebuild under new strategy" `Quick test_rebuild_tables_changes_strategy;
+    Alcotest.test_case "dynamic join/leave" `Quick test_dynamic_join_leave;
+    Alcotest.test_case "maintenance keeps soft state alive" `Quick
+      test_maintenance_refresh_keeps_state_alive;
+    Alcotest.test_case "pub/sub repairs departures" `Quick test_maintenance_reselects_on_departure;
+    Alcotest.test_case "pub/sub adopts newcomers" `Quick test_maintenance_adopts_newcomers;
+    Alcotest.test_case "leave rebuilds relocated tables" `Quick test_leave_rebuilds_relocated_tables;
+    Alcotest.test_case "liveness polling retracts dead state" `Quick
+      test_liveness_polling_retracts_dead_entries;
+    Alcotest.test_case "strategy validation" `Quick test_strategy_validation;
+  ]

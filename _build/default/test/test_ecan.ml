@@ -1,0 +1,171 @@
+(* Tests for eCAN expressway routing. *)
+
+module Can_overlay = Can.Overlay
+module Ecan = Ecan.Expressway
+module Point = Geometry.Point
+module Rng = Prelude.Rng
+
+let random_selector rng ~node:_ ~region:_ ~candidates =
+  Some (Rng.pick rng candidates)
+
+let build ?(span_bits = 2) ~n ~seed () =
+  let rng = Rng.create seed in
+  let t = Can_overlay.create ~dims:2 0 in
+  for id = 1 to n - 1 do
+    ignore (Can_overlay.join t id (Point.random rng 2))
+  done;
+  let e = Ecan.create ~span_bits t in
+  let sel_rng = Rng.create (seed + 1) in
+  Ecan.build_tables e ~selector:(random_selector sel_rng);
+  (e, Rng.create (seed + 2))
+
+let test_digits () =
+  let e, _ = build ~n:64 ~seed:1 () in
+  let t = Ecan.can e in
+  Array.iter
+    (fun id ->
+      let n = Can_overlay.node t id in
+      let len = Array.length n.Can_overlay.path in
+      Alcotest.(check int) "rows = len/span" (len / 2) (Ecan.rows e id);
+      for row = 0 to Ecan.rows e id - 1 do
+        let d = Ecan.own_digit e id ~row in
+        let expect = (n.Can_overlay.path.(2 * row) * 2) + n.Can_overlay.path.((2 * row) + 1) in
+        Alcotest.(check int) "digit packs two bits" expect d
+      done)
+    (Can_overlay.node_ids t)
+
+let test_region_prefix () =
+  let e, _ = build ~n:32 ~seed:2 () in
+  let t = Ecan.can e in
+  let id = (Can_overlay.node_ids t).(0) in
+  if Ecan.rows e id > 0 then begin
+    let prefix = Ecan.region_prefix e id ~row:0 ~digit:3 in
+    Alcotest.(check int) "prefix length" 2 (Array.length prefix);
+    Alcotest.(check (array int)) "digit 3 = bits 1 1" [| 1; 1 |] prefix
+  end
+
+let test_entries_point_into_region () =
+  let e, _ = build ~n:100 ~seed:3 () in
+  let t = Ecan.can e in
+  Array.iter
+    (fun id ->
+      List.iter
+        (fun (row, digit, target) ->
+          let region = Ecan.region_prefix e id ~row ~digit in
+          let target_path = (Can_overlay.node t target).Can_overlay.path in
+          Alcotest.(check bool) "entry member of its region" true
+            (Array.length target_path >= Array.length region
+            && Array.for_all2 ( = ) region (Array.sub target_path 0 (Array.length region))))
+        (Ecan.entries e id))
+    (Can_overlay.node_ids t)
+
+let test_route_reaches_owner () =
+  let e, rng = build ~n:200 ~seed:4 () in
+  let t = Ecan.can e in
+  let ids = Can_overlay.node_ids t in
+  for _ = 1 to 300 do
+    let src = Rng.pick rng ids in
+    let p = Point.random rng 2 in
+    match Ecan.route e ~src p with
+    | None -> Alcotest.fail "ecan routing failed"
+    | Some hops ->
+      Alcotest.(check int) "starts at src" src (List.hd hops);
+      Alcotest.(check int) "ends at owner" (Can_overlay.owner_of t p)
+        (List.nth hops (List.length hops - 1))
+  done
+
+let avg_hops route_fn t rng ~count =
+  let ids = Can_overlay.node_ids t in
+  let total = ref 0 in
+  for _ = 1 to count do
+    let src = Rng.pick rng ids in
+    let p = Point.random rng 2 in
+    match route_fn ~src p with
+    | Some hops -> total := !total + List.length hops - 1
+    | None -> Alcotest.fail "routing failed"
+  done;
+  float_of_int !total /. float_of_int count
+
+let test_expressway_beats_plain_can () =
+  let e, rng = build ~n:500 ~seed:5 () in
+  let t = Ecan.can e in
+  let ecan_hops = avg_hops (fun ~src p -> Ecan.route e ~src p) t rng ~count:200 in
+  let can_hops = avg_hops (fun ~src p -> Can_overlay.route t ~src p) t rng ~count:200 in
+  Alcotest.(check bool)
+    (Printf.sprintf "ecan %.2f hops well under CAN %.2f" ecan_hops can_hops)
+    true
+    (ecan_hops < can_hops /. 2.0)
+
+let test_route_without_tables_falls_back () =
+  (* With no tables built, eCAN degenerates to greedy CAN and must still
+     reach the owner. *)
+  let rng = Rng.create 6 in
+  let t = Can_overlay.create ~dims:2 0 in
+  for id = 1 to 63 do
+    ignore (Can_overlay.join t id (Point.random rng 2))
+  done;
+  let e = Ecan.create t in
+  for _ = 1 to 50 do
+    let p = Point.random rng 2 in
+    match Ecan.route e ~src:0 p with
+    | None -> Alcotest.fail "fallback routing failed"
+    | Some hops ->
+      Alcotest.(check int) "owner reached" (Can_overlay.owner_of t p)
+        (List.nth hops (List.length hops - 1))
+  done
+
+let test_set_entry_and_table_size () =
+  let e, _ = build ~n:64 ~seed:7 () in
+  let t = Ecan.can e in
+  let id = (Can_overlay.node_ids t).(0) in
+  let before = Ecan.table_size e id in
+  Alcotest.(check bool) "some entries filled" true (before > 0);
+  (match Ecan.entries e id with
+  | (row, digit, _) :: _ ->
+    Ecan.set_entry e id ~row ~digit None;
+    Alcotest.(check int) "entry cleared" (before - 1) (Ecan.table_size e id);
+    Alcotest.(check (option int)) "reads back" None (Ecan.entry e id ~row ~digit)
+  | [] -> Alcotest.fail "expected entries");
+  Alcotest.check_raises "bad row" (Invalid_argument "Ecan.set_entry: row out of range")
+    (fun () -> Ecan.set_entry e id ~row:999 ~digit:0 None)
+
+let test_span_bits_3 () =
+  let e, rng = build ~span_bits:3 ~n:300 ~seed:8 () in
+  let t = Ecan.can e in
+  for _ = 1 to 100 do
+    let p = Point.random rng 2 in
+    match Ecan.route e ~src:(Prelude.Rng.pick rng (Can_overlay.node_ids t)) p with
+    | None -> Alcotest.fail "span=3 routing failed"
+    | Some hops ->
+      Alcotest.(check int) "owner reached" (Can_overlay.owner_of t p)
+        (List.nth hops (List.length hops - 1))
+  done
+
+let qcheck_route_always_reaches =
+  QCheck.Test.make ~name:"ecan routing reaches the owner on random overlays" ~count:20
+    QCheck.(pair (int_range 0 1000) (int_range 2 80))
+    (fun (seed, n) ->
+      let e, rng = build ~n ~seed () in
+      let t = Ecan.can e in
+      let ids = Can_overlay.node_ids t in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let p = Point.random rng 2 in
+        match Ecan.route e ~src:(Prelude.Rng.pick rng ids) p with
+        | Some hops -> if List.nth hops (List.length hops - 1) <> Can_overlay.owner_of t p then ok := false
+        | None -> ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "digit extraction" `Quick test_digits;
+    Alcotest.test_case "region prefixes" `Quick test_region_prefix;
+    Alcotest.test_case "entries live in their regions" `Quick test_entries_point_into_region;
+    Alcotest.test_case "routing reaches owner" `Quick test_route_reaches_owner;
+    Alcotest.test_case "expressways beat plain CAN" `Quick test_expressway_beats_plain_can;
+    Alcotest.test_case "fallback without tables" `Quick test_route_without_tables_falls_back;
+    Alcotest.test_case "set_entry / table_size" `Quick test_set_entry_and_table_size;
+    Alcotest.test_case "span_bits = 3" `Quick test_span_bits_3;
+    QCheck_alcotest.to_alcotest qcheck_route_always_reaches;
+  ]

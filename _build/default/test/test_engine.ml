@@ -1,0 +1,103 @@
+(* Tests for the discrete-event engine. *)
+
+module Sim = Engine.Sim
+
+let test_fires_in_time_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore (Sim.schedule sim ~delay:5.0 (fun () -> log := 5 :: !log));
+  ignore (Sim.schedule sim ~delay:1.0 (fun () -> log := 1 :: !log));
+  ignore (Sim.schedule sim ~delay:3.0 (fun () -> log := 3 :: !log));
+  Sim.run sim;
+  Alcotest.(check (list int)) "time order" [ 1; 3; 5 ] (List.rev !log);
+  Alcotest.(check (float 0.0)) "clock at last event" 5.0 (Sim.now sim)
+
+let test_fifo_at_same_instant () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Sim.schedule sim ~delay:2.0 (fun () -> log := i :: !log))
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "fifo ties" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let timer = Sim.schedule sim ~delay:1.0 (fun () -> fired := true) in
+  Sim.cancel timer;
+  Sim.run sim;
+  Alcotest.(check bool) "cancelled event does not fire" false !fired
+
+let test_nested_scheduling () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore
+    (Sim.schedule sim ~delay:1.0 (fun () ->
+         log := (1.0, Sim.now sim) :: !log;
+         ignore (Sim.schedule sim ~delay:2.0 (fun () -> log := (3.0, Sim.now sim) :: !log))));
+  Sim.run sim;
+  Alcotest.(check int) "two events" 2 (List.length !log);
+  List.iter (fun (want, got) -> Alcotest.(check (float 0.0)) "clock" want got) !log
+
+let test_periodic () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let timer = Sim.every sim ~period:10.0 (fun () -> incr count) in
+  Sim.run ~until:35.0 sim;
+  Alcotest.(check int) "three firings by t=35" 3 !count;
+  Sim.cancel timer;
+  Sim.run ~until:100.0 sim;
+  Alcotest.(check int) "no firings after cancel" 3 !count
+
+let test_periodic_cancel_mid_stream () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let timer = ref None in
+  timer :=
+    Some
+      (Sim.every sim ~period:1.0 (fun () ->
+           incr count;
+           if !count = 3 then Option.iter Sim.cancel !timer));
+  Sim.run ~until:10.0 sim;
+  Alcotest.(check int) "self-cancel after 3" 3 !count
+
+let test_run_until_advances_clock () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule sim ~delay:50.0 ignore);
+  Sim.run ~until:20.0 sim;
+  Alcotest.(check (float 0.0)) "clock advanced to the limit" 20.0 (Sim.now sim);
+  Alcotest.(check int) "future event still queued" 1 (Sim.pending sim);
+  Sim.run sim;
+  Alcotest.(check (float 0.0)) "then runs" 50.0 (Sim.now sim)
+
+let test_rejects_past () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule sim ~delay:5.0 ignore);
+  Sim.run sim;
+  Alcotest.check_raises "negative delay" (Invalid_argument "Sim.schedule: negative delay")
+    (fun () -> ignore (Sim.schedule sim ~delay:(-1.0) ignore));
+  Alcotest.check_raises "past absolute time"
+    (Invalid_argument "Sim.schedule_at: time in the past") (fun () ->
+      ignore (Sim.schedule_at sim 1.0 ignore))
+
+let test_step () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule sim ~delay:1.0 ignore);
+  ignore (Sim.schedule sim ~delay:2.0 ignore);
+  Alcotest.(check bool) "step 1" true (Sim.step sim);
+  Alcotest.(check bool) "step 2" true (Sim.step sim);
+  Alcotest.(check bool) "empty" false (Sim.step sim)
+
+let suite =
+  [
+    Alcotest.test_case "time order" `Quick test_fires_in_time_order;
+    Alcotest.test_case "fifo at same instant" `Quick test_fifo_at_same_instant;
+    Alcotest.test_case "cancel" `Quick test_cancel;
+    Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+    Alcotest.test_case "periodic" `Quick test_periodic;
+    Alcotest.test_case "periodic self-cancel" `Quick test_periodic_cancel_mid_stream;
+    Alcotest.test_case "run ~until" `Quick test_run_until_advances_clock;
+    Alcotest.test_case "rejects past times" `Quick test_rejects_past;
+    Alcotest.test_case "manual stepping" `Quick test_step;
+  ]

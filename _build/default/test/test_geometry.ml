@@ -1,0 +1,191 @@
+(* Tests for points, zones and space-filling curves. *)
+
+module Point = Geometry.Point
+module Zone = Geometry.Zone
+module Hilbert = Geometry.Hilbert
+module Zcurve = Geometry.Zcurve
+module Rng = Prelude.Rng
+
+let test_point_create_validates () =
+  Alcotest.check_raises "coordinate 1.0 rejected"
+    (Invalid_argument "Point.create: coordinate out of [0,1)") (fun () ->
+      ignore (Point.create [| 0.5; 1.0 |]));
+  let p = Point.create [| 0.25; 0.75 |] in
+  Alcotest.(check int) "dims" 2 (Point.dims p)
+
+let test_torus_axis_dist () =
+  Alcotest.(check (float 1e-12)) "plain" 0.2 (Point.torus_axis_dist 0.1 0.3);
+  Alcotest.(check (float 1e-12)) "wrap" 0.2 (Point.torus_axis_dist 0.9 0.1);
+  Alcotest.(check (float 1e-12)) "max is half" 0.5 (Point.torus_axis_dist 0.0 0.5)
+
+let test_torus_dist () =
+  let a = [| 0.95; 0.95 |] and b = [| 0.05; 0.05 |] in
+  Alcotest.(check (float 1e-12)) "wraps both axes" (sqrt 0.02) (Point.torus_dist a b);
+  Alcotest.(check (float 1e-12)) "self" 0.0 (Point.torus_dist a a)
+
+let test_zone_split_volumes () =
+  let z = Zone.full 2 in
+  Alcotest.(check (float 1e-12)) "full volume" 1.0 (Zone.volume z);
+  let lower, upper = Zone.split z 0 in
+  Alcotest.(check (float 1e-12)) "half" 0.5 (Zone.volume lower);
+  Alcotest.(check (float 1e-12)) "half" 0.5 (Zone.volume upper);
+  Alcotest.(check bool) "lower contains 0.25" true (Zone.contains lower [| 0.25; 0.5 |]);
+  Alcotest.(check bool) "upper contains 0.75" true (Zone.contains upper [| 0.75; 0.5 |]);
+  Alcotest.(check bool) "boundary goes upper" true (Zone.contains upper [| 0.5; 0.0 |])
+
+let test_zone_neighbor_basic () =
+  let z = Zone.full 2 in
+  let left, right = Zone.split z 0 in
+  Alcotest.(check bool) "halves are neighbors" true (Zone.is_neighbor left right);
+  Alcotest.(check bool) "not self-neighbor" false (Zone.is_neighbor left left);
+  let ll, lu = Zone.split left 1 in
+  let rl, ru = Zone.split right 1 in
+  Alcotest.(check bool) "ll-rl abut" true (Zone.is_neighbor ll rl);
+  Alcotest.(check bool) "ll-ru corner only" false (Zone.is_neighbor ll ru);
+  Alcotest.(check bool) "lu-ru abut" true (Zone.is_neighbor lu ru);
+  Alcotest.(check bool) "ll-lu abut" true (Zone.is_neighbor ll lu)
+
+let test_zone_neighbor_wraps () =
+  (* [0,0.25) and [0.75,1) in dim 0 are adjacent through the wrap. *)
+  let z = Zone.full 2 in
+  let left, right = Zone.split z 0 in
+  let leftmost, _ = Zone.split left 0 in
+  let _, rightmost = Zone.split right 0 in
+  Alcotest.(check bool) "wrap adjacency" true (Zone.is_neighbor leftmost rightmost)
+
+let test_zone_min_torus_dist () =
+  let z = { Zone.lo = [| 0.0; 0.0 |]; hi = [| 0.25; 0.25 |] } in
+  Alcotest.(check (float 1e-12)) "inside" 0.0 (Zone.min_torus_dist z [| 0.1; 0.1 |]);
+  Alcotest.(check (float 1e-12)) "straight out" 0.25 (Zone.min_torus_dist z [| 0.5; 0.1 |]);
+  Alcotest.(check (float 1e-12)) "wrap is closer" 0.05 (Zone.min_torus_dist z [| 0.95; 0.1 |])
+
+let test_zone_shrink () =
+  let z = Zone.full 2 in
+  let s = Zone.shrink z 0.25 in
+  Alcotest.(check (float 1e-12)) "volume scaled" 0.25 (Zone.volume s);
+  Alcotest.(check bool) "anchored at lo" true (s.Zone.lo = z.Zone.lo);
+  let id = Zone.shrink z 1.0 in
+  Alcotest.(check bool) "factor 1 is identity" true (Zone.equal id z)
+
+let test_zone_subzone () =
+  let z = { Zone.lo = [| 0.5; 0.0 |]; hi = [| 1.0; 0.5 |] } in
+  let p = Zone.subzone z [| 0.5; 0.5 |] in
+  Alcotest.(check (float 1e-12)) "x" 0.75 p.(0);
+  Alcotest.(check (float 1e-12)) "y" 0.25 p.(1)
+
+let test_hilbert_2d_order1 () =
+  (* The order-1 2-d Hilbert curve visits (0,0) (0,1) (1,1) (1,0). *)
+  let expected = [| [| 0; 0 |]; [| 0; 1 |]; [| 1; 1 |]; [| 1; 0 |] |] in
+  Array.iteri
+    (fun idx coords ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "coords of %d" idx)
+        coords
+        (Hilbert.coords_of_index ~bits:1 ~dims:2 idx);
+      Alcotest.(check int)
+        (Printf.sprintf "index of cell %d" idx)
+        idx
+        (Hilbert.index_of_coords ~bits:1 coords))
+    expected
+
+let check_curve_roundtrip name index_of coords_of ~bits ~dims =
+  let total = 1 lsl (bits * dims) in
+  for idx = 0 to total - 1 do
+    let coords = coords_of ~bits ~dims idx in
+    Alcotest.(check int) (name ^ " roundtrip") idx (index_of ~bits coords)
+  done
+
+let check_curve_adjacency name coords_of ~bits ~dims =
+  (* Consecutive curve indices must be adjacent grid cells (the locality
+     property that makes landmark numbers meaningful). *)
+  let total = 1 lsl (bits * dims) in
+  let prev = ref (coords_of ~bits ~dims 0) in
+  for idx = 1 to total - 1 do
+    let cur = coords_of ~bits ~dims idx in
+    let dist = ref 0 in
+    for i = 0 to dims - 1 do
+      dist := !dist + abs (cur.(i) - !prev.(i))
+    done;
+    Alcotest.(check int) (name ^ " steps by one cell") 1 !dist;
+    prev := cur
+  done
+
+let test_hilbert_roundtrip_2d () =
+  check_curve_roundtrip "hilbert 2d" Hilbert.index_of_coords Hilbert.coords_of_index ~bits:4 ~dims:2
+
+let test_hilbert_roundtrip_3d () =
+  check_curve_roundtrip "hilbert 3d" Hilbert.index_of_coords Hilbert.coords_of_index ~bits:3 ~dims:3
+
+let test_hilbert_adjacency_2d () = check_curve_adjacency "hilbert 2d" Hilbert.coords_of_index ~bits:4 ~dims:2
+let test_hilbert_adjacency_3d () = check_curve_adjacency "hilbert 3d" Hilbert.coords_of_index ~bits:3 ~dims:3
+let test_hilbert_adjacency_4d () = check_curve_adjacency "hilbert 4d" Hilbert.coords_of_index ~bits:2 ~dims:4
+
+let test_zcurve_roundtrip () =
+  check_curve_roundtrip "zcurve 2d" Zcurve.index_of_coords Zcurve.coords_of_index ~bits:4 ~dims:2;
+  check_curve_roundtrip "zcurve 3d" Zcurve.index_of_coords Zcurve.coords_of_index ~bits:3 ~dims:3
+
+let test_zcurve_known_values () =
+  (* Morton interleave of (x=1, y=1) with 1 bit is 0b11. *)
+  Alcotest.(check int) "1,1" 3 (Zcurve.index_of_coords ~bits:1 [| 1; 1 |]);
+  Alcotest.(check int) "0,1" 1 (Zcurve.index_of_coords ~bits:1 [| 0; 1 |])
+
+let test_curve_rejects_bad_args () =
+  Alcotest.check_raises "oversized" (Invalid_argument "Hilbert: dims * bits exceeds 62")
+    (fun () -> ignore (Hilbert.index_of_coords ~bits:32 [| 0; 0 |]));
+  Alcotest.check_raises "coordinate range" (Invalid_argument "Hilbert: coordinate out of range")
+    (fun () -> ignore (Hilbert.index_of_coords ~bits:2 [| 4; 0 |]))
+
+let test_index_of_point_clamps () =
+  let idx = Hilbert.index_of_point ~bits:3 [| 0.999999; 0.0 |] in
+  Alcotest.(check bool) "in range" true (idx >= 0 && idx < 64)
+
+let qcheck_hilbert_roundtrip =
+  QCheck.Test.make ~name:"hilbert index->coords->index identity (random geometry)" ~count:500
+    QCheck.(triple (int_range 1 4) (int_range 1 4) (int_range 0 1_000_000))
+    (fun (bits, dims, raw) ->
+      let total = 1 lsl (bits * dims) in
+      let idx = raw mod total in
+      Hilbert.index_of_coords ~bits (Hilbert.coords_of_index ~bits ~dims idx) = idx)
+
+let qcheck_zcurve_roundtrip =
+  QCheck.Test.make ~name:"zcurve index->coords->index identity (random geometry)" ~count:500
+    QCheck.(triple (int_range 1 4) (int_range 1 4) (int_range 0 1_000_000))
+    (fun (bits, dims, raw) ->
+      let total = 1 lsl (bits * dims) in
+      let idx = raw mod total in
+      Zcurve.index_of_coords ~bits (Zcurve.coords_of_index ~bits ~dims idx) = idx)
+
+let qcheck_zone_split_partition =
+  QCheck.Test.make ~name:"zone split partitions points between halves" ~count:300
+    QCheck.(pair (int_range 0 1) (pair (float_range 0.0 0.999) (float_range 0.0 0.999)))
+    (fun (dim, (x, y)) ->
+      let z = Geometry.Zone.full 2 in
+      let lower, upper = Geometry.Zone.split z dim in
+      let p = [| x; y |] in
+      Geometry.Zone.contains lower p <> Geometry.Zone.contains upper p)
+
+let suite =
+  [
+    Alcotest.test_case "point validation" `Quick test_point_create_validates;
+    Alcotest.test_case "torus axis distance" `Quick test_torus_axis_dist;
+    Alcotest.test_case "torus distance" `Quick test_torus_dist;
+    Alcotest.test_case "zone split volumes" `Quick test_zone_split_volumes;
+    Alcotest.test_case "zone adjacency" `Quick test_zone_neighbor_basic;
+    Alcotest.test_case "zone adjacency wraps" `Quick test_zone_neighbor_wraps;
+    Alcotest.test_case "zone point distance" `Quick test_zone_min_torus_dist;
+    Alcotest.test_case "zone shrink (condensed maps)" `Quick test_zone_shrink;
+    Alcotest.test_case "zone subzone mapping" `Quick test_zone_subzone;
+    Alcotest.test_case "hilbert order-1 shape" `Quick test_hilbert_2d_order1;
+    Alcotest.test_case "hilbert roundtrip 2d" `Quick test_hilbert_roundtrip_2d;
+    Alcotest.test_case "hilbert roundtrip 3d" `Quick test_hilbert_roundtrip_3d;
+    Alcotest.test_case "hilbert adjacency 2d" `Quick test_hilbert_adjacency_2d;
+    Alcotest.test_case "hilbert adjacency 3d" `Quick test_hilbert_adjacency_3d;
+    Alcotest.test_case "hilbert adjacency 4d" `Quick test_hilbert_adjacency_4d;
+    Alcotest.test_case "zcurve roundtrip" `Quick test_zcurve_roundtrip;
+    Alcotest.test_case "zcurve known values" `Quick test_zcurve_known_values;
+    Alcotest.test_case "curve argument validation" `Quick test_curve_rejects_bad_args;
+    Alcotest.test_case "point gridding clamps" `Quick test_index_of_point_clamps;
+    QCheck_alcotest.to_alcotest qcheck_hilbert_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_zcurve_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_zone_split_partition;
+  ]

@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "topo_overlay"
+    [
+      ("prelude", Test_prelude.suite);
+      ("geometry", Test_geometry.suite);
+      ("topology", Test_topology.suite);
+      ("engine", Test_engine.suite);
+      ("landmark", Test_landmark.suite);
+      ("can", Test_can.suite);
+      ("ecan", Test_ecan.suite);
+      ("chord", Test_chord.suite);
+      ("pastry", Test_pastry.suite);
+      ("softstate", Test_softstate.suite);
+      ("pubsub", Test_pubsub.suite);
+      ("proximity", Test_proximity.suite);
+      ("core", Test_core.suite);
+      ("extensions", Test_extensions.suite);
+      ("workload", Test_workload.suite);
+      ("properties", Test_properties.suite);
+      ("edges", Test_edges.suite);
+    ]

@@ -1,0 +1,152 @@
+(* Tests for the nearest-neighbor search algorithms. *)
+
+module Search = Proximity.Search
+module Oracle = Topology.Oracle
+module Ts = Topology.Transit_stub
+module Can_overlay = Can.Overlay
+module Landmarks = Landmark.Landmarks
+module Point = Geometry.Point
+module Rng = Prelude.Rng
+
+let topo_params =
+  {
+    Ts.transit_domains = 3;
+    transit_nodes_per_domain = 2;
+    stubs_per_transit_node = 2;
+    stub_size = 12;
+    extra_domain_edges = 2;
+    extra_edge_fraction = 0.4;
+    latency = Ts.Manual;
+  }
+
+(* Oracle + a CAN of the whole topology + landmark vectors, as in the
+   paper's §4 evaluation setting. *)
+let setup ~seed =
+  let rng = Rng.create seed in
+  let topo = Ts.generate rng topo_params in
+  let oracle = Oracle.build topo in
+  let n = Oracle.node_count oracle in
+  let can = Can_overlay.create ~dims:2 0 in
+  for id = 1 to n - 1 do
+    ignore (Can_overlay.join can id (Point.random rng 2))
+  done;
+  let lms = Landmarks.choose rng oracle 6 in
+  let vectors = Array.init n (fun node -> Landmarks.vector lms node) in
+  (oracle, can, vectors, Rng.create (seed + 1))
+
+let all_nodes oracle = Array.init (Oracle.node_count oracle) (fun i -> i)
+
+let test_true_nearest () =
+  let oracle, _, _, _ = setup ~seed:1 in
+  let node, d = Search.true_nearest oracle ~query:5 ~candidates:(all_nodes oracle) in
+  Alcotest.(check bool) "not self" true (node <> 5);
+  Alcotest.(check bool) "positive distance" true (d > 0.0);
+  (* brute force agreement *)
+  let brute = ref infinity in
+  Array.iter
+    (fun v -> if v <> 5 then brute := Float.min !brute (Oracle.dist oracle 5 v))
+    (all_nodes oracle);
+  Alcotest.(check (float 1e-12)) "matches brute force" !brute d
+
+let test_curves_monotone_nonincreasing () =
+  let oracle, can, vectors, rng = setup ~seed:2 in
+  for _ = 1 to 5 do
+    let query = Rng.int rng (Oracle.node_count oracle) in
+    let check name (curve : Search.curve) =
+      let d = curve.Search.dist in
+      for i = 1 to Array.length d - 1 do
+        Alcotest.(check bool) (name ^ " best-so-far never worsens") true (d.(i) <= d.(i - 1))
+      done
+    in
+    check "ers" (Search.ers_curve oracle can ~query ~budget:40);
+    check "hybrid"
+      (Search.hybrid_curve oracle
+         ~vector_of:(fun v -> vectors.(v))
+         ~candidates:(all_nodes oracle) ~query ~budget:40)
+  done
+
+let test_measurement_accounting () =
+  let oracle, can, _, _ = setup ~seed:3 in
+  Oracle.reset_measurements oracle;
+  let curve = Search.ers_curve oracle can ~query:0 ~budget:25 in
+  Alcotest.(check int) "exactly budget measurements" (Array.length curve.Search.dist)
+    (Oracle.measurements oracle);
+  Alcotest.(check bool) "budget respected" true (Array.length curve.Search.dist <= 25)
+
+let test_hybrid_converges_to_optimum () =
+  (* With an exhaustive budget the hybrid must find the true nearest. *)
+  let oracle, _, vectors, rng = setup ~seed:4 in
+  let candidates = all_nodes oracle in
+  for _ = 1 to 5 do
+    let query = Rng.int rng (Oracle.node_count oracle) in
+    let _, optimal = Search.true_nearest oracle ~query ~candidates in
+    let curve =
+      Search.hybrid_curve oracle
+        ~vector_of:(fun v -> vectors.(v))
+        ~candidates ~query
+        ~budget:(Array.length candidates)
+    in
+    let final = curve.Search.dist.(Array.length curve.Search.dist - 1) in
+    Alcotest.(check (float 1e-9)) "exhaustive hybrid finds the optimum" optimal final
+  done
+
+let test_hybrid_beats_ers_at_small_budget () =
+  (* The headline §4 claim: at a small measurement budget the hybrid's
+     stretch beats blind expanding-ring search (averaged over queries). *)
+  let oracle, can, vectors, rng = setup ~seed:5 in
+  let candidates = all_nodes oracle in
+  let budget = 8 in
+  let queries = 30 in
+  let total_ers = ref 0.0 and total_hyb = ref 0.0 in
+  for _ = 1 to queries do
+    let query = Rng.int rng (Oracle.node_count oracle) in
+    let _, optimal = Search.true_nearest oracle ~query ~candidates in
+    let last (c : Search.curve) = c.Search.dist.(Array.length c.Search.dist - 1) in
+    let ers = last (Search.ers_curve oracle can ~query ~budget) in
+    let hyb =
+      last (Search.hybrid_curve oracle ~vector_of:(fun v -> vectors.(v)) ~candidates ~query ~budget)
+    in
+    if optimal > 0.0 then begin
+      total_ers := !total_ers +. (ers /. optimal);
+      total_hyb := !total_hyb +. (hyb /. optimal)
+    end
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "hybrid stretch %.2f < ers stretch %.2f" !total_hyb !total_ers)
+    true
+    (!total_hyb < !total_ers)
+
+let test_ers_explores_rings () =
+  let oracle, can, _, _ = setup ~seed:6 in
+  (* first probes must be the query's direct CAN neighbors, in id order *)
+  let query = 0 in
+  let curve = Search.ers_curve oracle can ~query ~budget:3 in
+  let neighbors = List.sort compare (Can_overlay.node can query).Can_overlay.neighbors in
+  Oracle.reset_measurements oracle;
+  let expected_first = List.hd neighbors in
+  (* probing in ring order means found.(0) is the first neighbor *)
+  Alcotest.(check int) "first probe is the first neighbor" expected_first
+    (let d0 = Oracle.dist oracle query expected_first in
+     if Float.abs (curve.Search.dist.(0) -. d0) < 1e-9 then expected_first else -1)
+
+let test_stretch_curve () =
+  let curve = { Search.found = [| 1; 2 |]; dist = [| 10.0; 5.0 |] } in
+  Alcotest.(check (array (float 1e-9))) "stretch" [| 2.0; 1.0 |]
+    (Search.stretch_curve curve ~optimal:5.0)
+
+let test_rejects_bad_budget () =
+  let oracle, can, _, _ = setup ~seed:7 in
+  Alcotest.check_raises "budget 0" (Invalid_argument "Search.ers_curve: budget must be >= 1")
+    (fun () -> ignore (Search.ers_curve oracle can ~query:0 ~budget:0))
+
+let suite =
+  [
+    Alcotest.test_case "true nearest = brute force" `Quick test_true_nearest;
+    Alcotest.test_case "curves are monotone" `Quick test_curves_monotone_nonincreasing;
+    Alcotest.test_case "measurement accounting" `Quick test_measurement_accounting;
+    Alcotest.test_case "exhaustive hybrid is optimal" `Quick test_hybrid_converges_to_optimum;
+    Alcotest.test_case "hybrid beats ERS at small budgets" `Slow test_hybrid_beats_ers_at_small_budget;
+    Alcotest.test_case "ers explores rings" `Quick test_ers_explores_rings;
+    Alcotest.test_case "stretch curve arithmetic" `Quick test_stretch_curve;
+    Alcotest.test_case "budget validation" `Quick test_rejects_bad_budget;
+  ]

@@ -1,0 +1,171 @@
+(* Tests for the publish/subscribe bus. *)
+
+module Bus = Pubsub.Bus
+module Store = Softstate.Store
+module Can_overlay = Can.Overlay
+module Number = Landmark.Number
+module Point = Geometry.Point
+module Sim = Engine.Sim
+module Rng = Prelude.Rng
+
+let scheme = Number.default_scheme ~max_latency:100.0 ()
+
+let setup ?(n = 30) ~seed () =
+  let rng = Rng.create seed in
+  let can = Can_overlay.create ~dims:2 0 in
+  for id = 1 to n - 1 do
+    ignore (Can_overlay.join can id (Point.random rng 2))
+  done;
+  let sim = Sim.create () in
+  let store = Store.create ~clock:(fun () -> Sim.now sim) ~scheme can in
+  let bus = Bus.create ~sim store in
+  (bus, sim, rng)
+
+let vec rng = Array.init 5 (fun _ -> Rng.float rng 100.0)
+
+let test_any_new_entry () =
+  let bus, sim, rng = setup ~seed:1 () in
+  let events = ref [] in
+  let _sub =
+    Bus.subscribe bus ~subscriber:7 ~region:[||] ~condition:Bus.Any_new_entry
+      ~handler:(fun n -> events := n :: !events)
+  in
+  Bus.publish bus ~region:[||] ~node:3 ~vector:(vec rng);
+  Sim.run sim;
+  Alcotest.(check int) "one notification" 1 (List.length !events);
+  (match !events with
+  | [ { Bus.subscriber; event = Bus.Entry_published { entry_node; _ }; _ } ] ->
+    Alcotest.(check int) "subscriber" 7 subscriber;
+    Alcotest.(check int) "entry node" 3 entry_node
+  | _ -> Alcotest.fail "unexpected event shape");
+  (* refresh of the same node must NOT re-notify *)
+  Bus.publish bus ~region:[||] ~node:3 ~vector:(vec rng);
+  Sim.run sim;
+  Alcotest.(check int) "no notification on refresh" 1 (List.length !events)
+
+let test_region_isolation () =
+  let bus, sim, rng = setup ~seed:2 () in
+  let fired = ref 0 in
+  let _sub =
+    Bus.subscribe bus ~subscriber:1 ~region:[| 0; 0 |] ~condition:Bus.Any_new_entry
+      ~handler:(fun _ -> incr fired)
+  in
+  Bus.publish bus ~region:[| 1; 1 |] ~node:3 ~vector:(vec rng);
+  Sim.run sim;
+  Alcotest.(check int) "other region does not fire" 0 !fired;
+  Bus.publish bus ~region:[| 0; 0 |] ~node:3 ~vector:(vec rng);
+  Sim.run sim;
+  Alcotest.(check int) "right region fires" 1 !fired
+
+let test_closer_than () =
+  let bus, sim, _ = setup ~seed:3 () in
+  let mine = [| 10.0; 10.0; 10.0; 10.0; 10.0 |] in
+  let fired = ref 0 in
+  let _sub =
+    Bus.subscribe bus ~subscriber:1 ~region:[||]
+      ~condition:(Bus.Closer_than (mine, 5.0))
+      ~handler:(fun _ -> incr fired)
+  in
+  (* far entry: no fire *)
+  Bus.publish bus ~region:[||] ~node:2 ~vector:[| 90.0; 90.0; 90.0; 90.0; 90.0 |];
+  Sim.run sim;
+  Alcotest.(check int) "far newcomer ignored" 0 !fired;
+  (* close entry: fire *)
+  Bus.publish bus ~region:[||] ~node:3 ~vector:[| 11.0; 10.0; 10.0; 10.0; 10.0 |];
+  Sim.run sim;
+  Alcotest.(check int) "close newcomer fires" 1 !fired
+
+let test_load_above () =
+  let bus, sim, rng = setup ~seed:4 () in
+  let fired = ref [] in
+  let _sub =
+    Bus.subscribe bus ~subscriber:1 ~region:[||]
+      ~condition:(Bus.Load_above { watched = 5; threshold = 0.8 })
+      ~handler:(fun n -> fired := n :: !fired)
+  in
+  Bus.publish bus ~region:[||] ~node:5 ~vector:(vec rng);
+  Bus.update_load bus ~region:[||] ~node:5 ~load:0.5 ~capacity:1.0;
+  Sim.run sim;
+  Alcotest.(check int) "below threshold silent" 0 (List.length !fired);
+  Bus.update_load bus ~region:[||] ~node:5 ~load:0.9 ~capacity:1.0;
+  Sim.run sim;
+  Alcotest.(check int) "above threshold fires" 1 (List.length !fired);
+  (match !fired with
+  | [ { Bus.event = Bus.Load_changed { load; _ }; _ } ] ->
+    Alcotest.(check (float 0.0)) "load carried" 0.9 load
+  | _ -> Alcotest.fail "unexpected event");
+  (* a different node's load does not fire *)
+  Bus.publish bus ~region:[||] ~node:6 ~vector:(vec rng);
+  Bus.update_load bus ~region:[||] ~node:6 ~load:0.99 ~capacity:1.0;
+  Sim.run sim;
+  Alcotest.(check int) "other node silent" 1 (List.length !fired)
+
+let test_departure () =
+  let bus, sim, rng = setup ~seed:5 () in
+  let fired = ref 0 in
+  Bus.publish_all bus ~span_bits:2 ~node:9 ~vector:(vec rng);
+  let _sub =
+    Bus.subscribe bus ~subscriber:1 ~region:[||] ~condition:(Bus.Departure_of 9)
+      ~handler:(fun _ -> incr fired)
+  in
+  Bus.depart bus ~node:9;
+  Sim.run sim;
+  Alcotest.(check int) "departure fires" 1 !fired;
+  Alcotest.(check bool) "state retracted" true
+    (Store.find (Bus.store bus) ~region:[||] ~node:9 = None)
+
+let test_unsubscribe () =
+  let bus, sim, rng = setup ~seed:6 () in
+  let fired = ref 0 in
+  let sub =
+    Bus.subscribe bus ~subscriber:1 ~region:[||] ~condition:Bus.Any_new_entry
+      ~handler:(fun _ -> incr fired)
+  in
+  Alcotest.(check int) "counted" 1 (Bus.subscription_count bus ~region:[||]);
+  Bus.unsubscribe bus sub;
+  Alcotest.(check int) "removed" 0 (Bus.subscription_count bus ~region:[||]);
+  Bus.publish bus ~region:[||] ~node:2 ~vector:(vec rng);
+  Sim.run sim;
+  Alcotest.(check int) "no fire after unsubscribe" 0 !fired
+
+let test_delivery_latency () =
+  let rng = Rng.create 7 in
+  let can = Can_overlay.create ~dims:2 0 in
+  for id = 1 to 19 do
+    ignore (Can_overlay.join can id (Point.random rng 2))
+  done;
+  let sim = Sim.create () in
+  let store = Store.create ~clock:(fun () -> Sim.now sim) ~scheme can in
+  let bus = Bus.create ~sim ~latency:(fun ~host:_ ~subscriber:_ -> 25.0) store in
+  let delivered_at = ref (-1.0) in
+  let _sub =
+    Bus.subscribe bus ~subscriber:1 ~region:[||] ~condition:Bus.Any_new_entry
+      ~handler:(fun n -> delivered_at := n.Bus.delivered_at)
+  in
+  Bus.publish bus ~region:[||] ~node:2 ~vector:(vec rng);
+  Sim.run sim;
+  Alcotest.(check (float 1e-9)) "delivered after the modeled latency" 25.0 !delivered_at
+
+let test_multiple_subscribers () =
+  let bus, sim, rng = setup ~seed:8 () in
+  let fired = Array.make 3 0 in
+  for i = 0 to 2 do
+    ignore
+      (Bus.subscribe bus ~subscriber:i ~region:[||] ~condition:Bus.Any_new_entry
+         ~handler:(fun _ -> fired.(i) <- fired.(i) + 1))
+  done;
+  Bus.publish bus ~region:[||] ~node:9 ~vector:(vec rng);
+  Sim.run sim;
+  Array.iteri (fun i c -> Alcotest.(check int) (Printf.sprintf "sub %d fired" i) 1 c) fired
+
+let suite =
+  [
+    Alcotest.test_case "any-new-entry condition" `Quick test_any_new_entry;
+    Alcotest.test_case "region isolation" `Quick test_region_isolation;
+    Alcotest.test_case "closer-than condition" `Quick test_closer_than;
+    Alcotest.test_case "load-above condition" `Quick test_load_above;
+    Alcotest.test_case "departure condition" `Quick test_departure;
+    Alcotest.test_case "unsubscribe" `Quick test_unsubscribe;
+    Alcotest.test_case "delivery latency" `Quick test_delivery_latency;
+    Alcotest.test_case "multiple subscribers" `Quick test_multiple_subscribers;
+  ]

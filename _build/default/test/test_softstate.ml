@@ -1,0 +1,269 @@
+(* Tests for the global soft-state store. *)
+
+module Store = Softstate.Store
+module Can_overlay = Can.Overlay
+module Number = Landmark.Number
+module Point = Geometry.Point
+module Zone = Geometry.Zone
+module Rng = Prelude.Rng
+
+let scheme = Number.default_scheme ~max_latency:100.0 ()
+
+let check_ok = function Ok () -> () | Error e -> Alcotest.fail e
+
+(* A small CAN plus a clock we can advance by hand. *)
+let setup ?(condense = 1.0) ?(ttl = 100.0) ?(n = 40) ~seed () =
+  let rng = Rng.create seed in
+  let can = Can_overlay.create ~dims:2 0 in
+  for id = 1 to n - 1 do
+    ignore (Can_overlay.join can id (Point.random rng 2))
+  done;
+  let now = ref 0.0 in
+  let store =
+    Store.create ~condense ~default_ttl:ttl ~clock:(fun () -> !now) ~scheme can
+  in
+  (store, can, now, rng)
+
+let vec rng = Array.init 5 (fun _ -> Rng.float rng 100.0)
+
+let test_publish_find () =
+  let store, _, _, rng = setup ~seed:1 () in
+  let v = vec rng in
+  Store.publish store ~region:[||] ~node:3 ~vector:v;
+  (match Store.find store ~region:[||] ~node:3 with
+  | Some e ->
+    Alcotest.(check (array (float 0.0))) "vector stored" v e.Store.Entry.vector;
+    Alcotest.(check int) "landmark number consistent" (Number.number scheme v)
+      e.Store.Entry.number
+  | None -> Alcotest.fail "entry not found");
+  Alcotest.(check bool) "other region empty" true (Store.find store ~region:[| 0 |] ~node:3 = None);
+  check_ok (Store.check_invariants store)
+
+let test_publish_overwrites () =
+  let store, _, _, rng = setup ~seed:2 () in
+  Store.publish store ~region:[||] ~node:3 ~vector:(vec rng);
+  let v2 = vec rng in
+  Store.publish store ~region:[||] ~node:3 ~vector:v2;
+  Alcotest.(check int) "one entry" 1 (List.length (Store.region_entries store [||]));
+  (match Store.find store ~region:[||] ~node:3 with
+  | Some e -> Alcotest.(check (array (float 0.0))) "updated" v2 e.Store.Entry.vector
+  | None -> Alcotest.fail "missing");
+  check_ok (Store.check_invariants store)
+
+let test_entry_position_in_condensed_box () =
+  let store, _, _, rng = setup ~condense:0.5 ~seed:3 () in
+  let region = [| 0; 1 |] in
+  for node = 0 to 20 do
+    Store.publish store ~region ~node ~vector:(vec rng)
+  done;
+  let box = Store.map_box store region in
+  let zone = Can_overlay.zone_of_path ~dims:2 region in
+  Alcotest.(check bool) "box strictly smaller than the region" true
+    (Zone.volume box < Zone.volume zone);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "position inside condensed box" true
+        (Zone.contains box e.Store.Entry.position))
+    (Store.region_entries store region);
+  check_ok (Store.check_invariants store)
+
+let test_ttl_expiry () =
+  let store, _, now, rng = setup ~ttl:50.0 ~seed:4 () in
+  Store.publish store ~region:[||] ~node:1 ~vector:(vec rng);
+  now := 49.0;
+  Alcotest.(check bool) "alive before ttl" true (Store.find store ~region:[||] ~node:1 <> None);
+  now := 51.0;
+  Alcotest.(check bool) "dead after ttl" true (Store.find store ~region:[||] ~node:1 = None);
+  Alcotest.(check int) "sweep drops it" 1 (Store.expire_sweep store);
+  Alcotest.(check int) "sweep idempotent" 0 (Store.expire_sweep store)
+
+let test_refresh_extends () =
+  let store, _, now, rng = setup ~ttl:50.0 ~seed:5 () in
+  Store.publish store ~region:[||] ~node:1 ~vector:(vec rng);
+  now := 40.0;
+  Store.refresh store ~region:[||] ~node:1;
+  now := 80.0;
+  Alcotest.(check bool) "alive thanks to refresh" true
+    (Store.find store ~region:[||] ~node:1 <> None);
+  now := 91.0;
+  Alcotest.(check bool) "eventually expires" true (Store.find store ~region:[||] ~node:1 = None)
+
+let test_unpublish () =
+  let store, _, _, rng = setup ~seed:6 () in
+  Store.publish store ~region:[||] ~node:1 ~vector:(vec rng);
+  Store.publish store ~region:[| 0 |] ~node:1 ~vector:(vec rng);
+  Store.unpublish store ~region:[||] ~node:1;
+  Alcotest.(check bool) "gone from root" true (Store.find store ~region:[||] ~node:1 = None);
+  Alcotest.(check bool) "still in the other map" true
+    (Store.find store ~region:[| 0 |] ~node:1 <> None);
+  Store.unpublish_everywhere store 1;
+  Alcotest.(check bool) "gone everywhere" true (Store.find store ~region:[| 0 |] ~node:1 = None);
+  check_ok (Store.check_invariants store)
+
+let test_publish_all_regions () =
+  let store, can, _, rng = setup ~n:64 ~seed:7 () in
+  let node = (Can_overlay.node_ids can).(5) in
+  let v = vec rng in
+  Store.publish_all store ~span_bits:2 ~node ~vector:v;
+  let regions = Store.regions_of store node in
+  let path_len = Array.length (Can_overlay.node can node).Can_overlay.path in
+  Alcotest.(check int) "one map per complete high-order zone plus the root"
+    ((path_len / 2) + 1) (List.length regions);
+  List.iter
+    (fun region ->
+      (* every region is a prefix of the node's path with even length *)
+      let len = Array.length region in
+      Alcotest.(check bool) "digit-aligned" true (len mod 2 = 0);
+      let path = (Can_overlay.node can node).Can_overlay.path in
+      Alcotest.(check bool) "prefix of the node's path" true
+        (Array.for_all2 ( = ) region (Array.sub path 0 len)))
+    regions
+
+let test_lookup_finds_closest () =
+  let store, _, _, rng = setup ~n:60 ~seed:8 () in
+  let region = [||] in
+  (* publish clusters: nodes 0-9 near vector A, nodes 10-19 near vector B *)
+  let base_a = [| 10.0; 10.0; 10.0; 10.0; 10.0 |] in
+  let base_b = [| 80.0; 80.0; 80.0; 80.0; 80.0 |] in
+  let jitter base = Array.map (fun x -> x +. Rng.float rng 2.0) base in
+  for node = 0 to 9 do
+    Store.publish store ~region ~node ~vector:(jitter base_a)
+  done;
+  for node = 10 to 19 do
+    Store.publish store ~region ~node ~vector:(jitter base_b)
+  done;
+  let results = Store.lookup store ~region ~vector:base_a ~max_results:5 ~ttl:8 () in
+  Alcotest.(check bool) "got results" true (results <> []);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "results from cluster A" true (e.Store.Entry.node < 10))
+    results;
+  (* sorted by vector distance *)
+  let dists =
+    List.map (fun e -> Landmark.Landmarks.vector_dist base_a e.Store.Entry.vector) results
+  in
+  Alcotest.(check (list (float 1e-9))) "sorted ascending" (List.sort compare dists) dists
+
+let test_lookup_respects_max_results () =
+  let store, _, _, rng = setup ~n:40 ~seed:9 () in
+  for node = 0 to 30 do
+    Store.publish store ~region:[||] ~node ~vector:(vec rng)
+  done;
+  let results = Store.lookup store ~region:[||] ~vector:(vec rng) ~max_results:7 ~ttl:6 () in
+  Alcotest.(check bool) "bounded" true (List.length results <= 7)
+
+let test_lookup_skips_expired () =
+  let store, _, now, rng = setup ~ttl:50.0 ~seed:10 () in
+  Store.publish store ~region:[||] ~node:1 ~vector:(vec rng);
+  now := 100.0;
+  Store.publish store ~region:[||] ~node:2 ~vector:(vec rng);
+  let results = Store.lookup store ~region:[||] ~vector:(vec rng) ~max_results:10 ~ttl:8 () in
+  List.iter
+    (fun e -> Alcotest.(check int) "only the live entry" 2 e.Store.Entry.node)
+    results
+
+let test_lookup_empty_region () =
+  let store, _, _, rng = setup ~seed:11 () in
+  Alcotest.(check (list reject)) "empty" []
+    (Store.lookup store ~region:[| 1; 1 |] ~vector:(vec rng) ())
+
+let test_condense_concentrates_entries () =
+  (* With a tiny condensed box, all entries land on few hosts; with the
+     whole region, they spread out. *)
+  let region = [||] in
+  let fill store rng =
+    for node = 0 to 39 do
+      Store.publish store ~region ~node ~vector:(vec rng)
+    done
+  in
+  let hosts store can =
+    Array.fold_left
+      (fun acc id -> if Store.entries_at_host store id > 0 then acc + 1 else acc)
+      0 (Can_overlay.node_ids can)
+  in
+  let store_tight, can_tight, _, rng_tight = setup ~condense:0.05 ~n:60 ~seed:12 () in
+  fill store_tight rng_tight;
+  let store_wide, can_wide, _, rng_wide = setup ~condense:8.0 ~n:60 ~seed:12 () in
+  fill store_wide rng_wide;
+  Alcotest.(check bool)
+    (Printf.sprintf "tight %d hosts <= wide %d hosts" (hosts store_tight can_tight)
+       (hosts store_wide can_wide))
+    true
+    (hosts store_tight can_tight <= hosts store_wide can_wide);
+  Alcotest.(check bool) "avg entries per node consistent" true
+    (Store.avg_entries_per_node store_tight > 0.0)
+
+let test_update_stats () =
+  let store, _, _, rng = setup ~seed:13 () in
+  Store.publish store ~region:[||] ~node:1 ~vector:(vec rng);
+  Store.update_stats store ~region:[||] ~node:1 ~load:0.9 ~capacity:4.0;
+  match Store.find store ~region:[||] ~node:1 with
+  | Some e ->
+    Alcotest.(check (float 0.0)) "load" 0.9 e.Store.Entry.load;
+    Alcotest.(check (float 0.0)) "capacity" 4.0 e.Store.Entry.capacity
+  | None -> Alcotest.fail "missing"
+
+let test_lookup_route_reaches_host () =
+  let store, can, _, rng = setup ~n:50 ~seed:15 () in
+  for node = 0 to 20 do
+    Store.publish store ~region:[| 0 |] ~node ~vector:(vec rng)
+  done;
+  for _ = 1 to 30 do
+    let v = vec rng in
+    let from = Prelude.Rng.pick rng (Can_overlay.node_ids can) in
+    match Store.lookup_route store ~from ~region:[| 0 |] ~vector:v with
+    | None -> Alcotest.fail "lookup route failed"
+    | Some hops ->
+      Alcotest.(check int) "route starts at the querier" from (List.hd hops);
+      Alcotest.(check int) "route ends at the map host"
+        (Store.host_of store ~region:[| 0 |] ~vector:v)
+        (List.nth hops (List.length hops - 1))
+  done
+
+let test_rehost_after_churn () =
+  let store, can, _, rng = setup ~n:30 ~seed:14 () in
+  for node = 0 to 29 do
+    Store.publish_all store ~span_bits:2 ~node ~vector:(vec rng)
+  done;
+  check_ok (Store.check_invariants store);
+  (* churn: join a few new nodes, then fix hosting *)
+  for id = 100 to 105 do
+    ignore (Can_overlay.join can id (Point.random rng 2))
+  done;
+  Store.rehost store;
+  check_ok (Store.check_invariants store);
+  (* and after leaves *)
+  ignore (Can_overlay.leave can 100);
+  ignore (Can_overlay.leave can 101);
+  Store.rehost store;
+  check_ok (Store.check_invariants store)
+
+let qcheck_host_index_consistent =
+  QCheck.Test.make ~name:"hosting matches CAN ownership after random publishes" ~count:20
+    QCheck.(pair (int_range 0 500) (int_range 5 40))
+    (fun (seed, n) ->
+      let store, _, _, rng = setup ~n ~seed () in
+      for node = 0 to (n / 2) - 1 do
+        Store.publish_all store ~span_bits:2 ~node ~vector:(vec rng)
+      done;
+      Store.check_invariants store = Ok ())
+
+let suite =
+  [
+    Alcotest.test_case "publish and find" `Quick test_publish_find;
+    Alcotest.test_case "publish overwrites" `Quick test_publish_overwrites;
+    Alcotest.test_case "condensed map placement" `Quick test_entry_position_in_condensed_box;
+    Alcotest.test_case "ttl expiry" `Quick test_ttl_expiry;
+    Alcotest.test_case "refresh extends life" `Quick test_refresh_extends;
+    Alcotest.test_case "unpublish" `Quick test_unpublish;
+    Alcotest.test_case "publish into all enclosing regions" `Quick test_publish_all_regions;
+    Alcotest.test_case "lookup returns the closest cluster" `Quick test_lookup_finds_closest;
+    Alcotest.test_case "lookup bounded by max_results" `Quick test_lookup_respects_max_results;
+    Alcotest.test_case "lookup skips expired entries" `Quick test_lookup_skips_expired;
+    Alcotest.test_case "lookup on empty region" `Quick test_lookup_empty_region;
+    Alcotest.test_case "condense rate concentrates entries" `Quick test_condense_concentrates_entries;
+    Alcotest.test_case "load statistics" `Quick test_update_stats;
+    Alcotest.test_case "lookup routes reach the host" `Quick test_lookup_route_reaches_host;
+    Alcotest.test_case "rehost after churn" `Quick test_rehost_after_churn;
+    QCheck_alcotest.to_alcotest qcheck_host_index_consistent;
+  ]

@@ -1,0 +1,75 @@
+(* Smoke tests: every registered experiment runs end-to-end at a small
+   scale and produces a non-empty table.  Catches regressions anywhere in
+   the pipeline (topology, overlays, soft-state, measurement). *)
+
+let smoke_scale = 32
+
+let run_entry (e : Workload.Registry.entry) () =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  e.Workload.Registry.run ~scale:smoke_scale ppf;
+  Format.pp_print_flush ppf ();
+  let out = Buffer.contents buf in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s produced output" e.Workload.Registry.name)
+    true
+    (String.length out > 40);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s output has a table" e.Workload.Registry.name)
+    true
+    (String.length out > 0
+    && (String.index_opt out '=' <> None || String.index_opt out ':' <> None))
+
+let test_registry_lookup () =
+  Alcotest.(check bool) "find fig10" true (Workload.Registry.find "fig10" <> None);
+  Alcotest.(check bool) "unknown id" true (Workload.Registry.find "nope" = None);
+  Alcotest.(check bool) "enough experiments" true (List.length Workload.Registry.all >= 16)
+
+let test_tableout () =
+  let t = Workload.Tableout.create ~title:"t" ~columns:[ "a"; "bb" ] in
+  Workload.Tableout.add_row t [ "1"; "2" ];
+  Alcotest.check_raises "cell count enforced"
+    (Invalid_argument "Tableout.add_row: cell count mismatch") (fun () ->
+      Workload.Tableout.add_row t [ "only one" ]);
+  let buf = Buffer.create 64 in
+  let ppf = Format.formatter_of_buffer buf in
+  Workload.Tableout.render ppf t;
+  Format.pp_print_flush ppf ();
+  let out = Buffer.contents buf in
+  Alcotest.(check bool) "has title" true
+    (String.length out > 0 && String.index_opt out 't' <> None);
+  Alcotest.(check string) "float cell" "1.500" (Workload.Tableout.cell_f 1.5);
+  Alcotest.(check string) "inf cell" "inf" (Workload.Tableout.cell_f infinity)
+
+let test_ctx_cache () =
+  let o1 = Workload.Ctx.oracle ~scale:smoke_scale Workload.Ctx.Tsk_large Topology.Transit_stub.Manual in
+  let o2 = Workload.Ctx.oracle ~scale:smoke_scale Workload.Ctx.Tsk_large Topology.Transit_stub.Manual in
+  Alcotest.(check bool) "cached oracle is shared" true (o1 == o2)
+
+let test_nn_data_curves () =
+  let ers, hybrid = Workload.Exp_nn.data ~scale:smoke_scale Workload.Ctx.Tsk_large in
+  Alcotest.(check bool) "ers curve non-empty" true (Array.length ers > 0);
+  Alcotest.(check bool) "hybrid curve non-empty" true (Array.length hybrid > 0);
+  (* averages of best-so-far curves are monotone nonincreasing *)
+  let monotone name c =
+    for i = 1 to Array.length c - 1 do
+      Alcotest.(check bool) (name ^ " monotone") true (c.(i) <= c.(i - 1) +. 1e-9)
+    done
+  in
+  monotone "ers" ers;
+  monotone "hybrid" hybrid;
+  (* all stretches are >= 1 (found node can never beat the true nearest) *)
+  Array.iter (fun v -> Alcotest.(check bool) "ers stretch >= 1" true (v >= 1.0 -. 1e-9)) ers;
+  Array.iter (fun v -> Alcotest.(check bool) "hybrid stretch >= 1" true (v >= 1.0 -. 1e-9)) hybrid
+
+let suite =
+  Alcotest.test_case "nn data curves" `Quick test_nn_data_curves
+  :: Alcotest.test_case "registry lookup" `Quick test_registry_lookup
+  :: Alcotest.test_case "table rendering" `Quick test_tableout
+  :: Alcotest.test_case "context cache" `Quick test_ctx_cache
+  :: List.map
+       (fun e ->
+         Alcotest.test_case
+           (Printf.sprintf "smoke: %s" e.Workload.Registry.name)
+           `Slow (run_entry e))
+       Workload.Registry.all
