@@ -93,6 +93,10 @@ module Micro = struct
              Store.lookup store ~region:[||] ~vector:some_vector ~max_results:16 ~ttl:2 ()));
       Test.make ~name:"can-owner-of"
         (Staged.stage (fun () -> Can_overlay.owner_of can (Point.random rng 2)));
+      Test.make ~name:"fault-plan"
+        (Staged.stage (fun () ->
+             let f = Engine.Faults.create ~seed:(Rng.int rng 1_000_000) () in
+             Engine.Faults.plan f Engine.Faults.default_storm));
     ]
 
   let run ppf =

@@ -221,54 +221,52 @@ let build_cmd =
 (* ---- churn ---- *)
 
 let churn_cmd =
-  let events_arg =
-    Arg.(value & opt int 100 & info [ "events" ] ~docv:"N" ~doc:"Number of leave+join events.")
+  let crashes_arg =
+    Arg.(value & opt int 8 & info [ "crashes" ] ~docv:"N" ~doc:"Fail-stop crashes in the storm.")
   in
-  let run verbose variant latency seed scale events =
-    setup_logs verbose;
-    let oracle = Workload.Ctx.oracle ~scale variant latency in
-    let sim = Engine.Sim.create () in
-    let b =
-      Builder.build
-        ~clock:(fun () -> Engine.Sim.now sim)
-        oracle
-        { Builder.default_config with Builder.overlay_size = 1024 / scale; seed }
-    in
-    let stretch () = (Measure.route_stretch ~pairs:512 b).Measure.stretch.Prelude.Stats.mean in
-    Format.fprintf ppf "before churn: stretch %.3f@." (stretch ());
-    let m = Core.Maintenance.start ~sim b in
-    Core.Maintenance.subscribe_all_slots m;
-    let rng = Rng.create (seed + 1) in
-    let can = Ecan.Expressway.can b.Core.Builder.ecan in
-    let member_set = Hashtbl.create 2048 in
-    Array.iter (fun x -> Hashtbl.replace member_set x ()) b.Core.Builder.members;
-    let next_fresh = ref 0 in
-    let fresh () =
-      while Hashtbl.mem member_set !next_fresh || Can_overlay.mem can !next_fresh do
-        incr next_fresh
-      done;
-      !next_fresh
-    in
-    for k = 1 to events do
-      ignore
-        (Engine.Sim.schedule sim
-           ~delay:(float_of_int k *. 500.0)
-           (fun () ->
-             let victim = Rng.pick rng (Can_overlay.node_ids can) in
-             Core.Maintenance.node_departs m victim;
-             Core.Maintenance.node_joins m (fresh ())))
-    done;
-    Engine.Sim.run ~until:(float_of_int (events + 4) *. 500.0) sim;
-    Core.Maintenance.stop m;
-    Format.fprintf ppf "after %d leave+join events with pub/sub repair: stretch %.3f@." events
-      (stretch ());
-    Format.fprintf ppf "re-selections performed: %d; refreshes: %d@."
-      (Core.Maintenance.reselections m)
-      (Core.Maintenance.refreshes m)
+  let leaves_arg =
+    Arg.(value & opt int 8 & info [ "leaves" ] ~docv:"N" ~doc:"Graceful departures in the storm.")
+  in
+  let joins_arg =
+    Arg.(value & opt int 16 & info [ "joins" ] ~docv:"N" ~doc:"Joins in the storm.")
+  in
+  let loss_arg =
+    Arg.(value & opt float 0.05
+         & info [ "loss" ] ~docv:"P" ~doc:"Notification loss probability in [0,1].")
+  in
+  let stale_arg =
+    Arg.(value & opt float 0.10
+         & info [ "staleness" ] ~docv:"F"
+             ~doc:"Fraction of soft-state entries aged to expiry per staleness burst.")
+  in
+  let run verbose seed scale crashes leaves joins loss staleness =
+    if loss < 0.0 || loss > 1.0 then `Error (false, "--loss must be in [0,1]")
+    else if staleness < 0.0 || staleness > 1.0 then `Error (false, "--staleness must be in [0,1]")
+    else begin
+      setup_logs verbose;
+      let storm =
+        {
+          Engine.Faults.default_storm with
+          Engine.Faults.crashes;
+          leaves;
+          joins;
+          expire_fraction = staleness;
+        }
+      in
+      let channel = { Engine.Faults.loss; delay_min = 5.0; delay_max = 50.0 } in
+      Workload.Exp_churn.run_custom ~scale ~seed ~storm ~channel ppf;
+      `Ok ()
+    end
   in
   Cmd.v
-    (Cmd.info "churn" ~doc:"Subject an overlay to churn with pub/sub repair and report drift")
-    Term.(const run $ verbose_arg $ variant_arg $ latency_arg $ seed_arg $ scale_arg $ events_arg)
+    (Cmd.info "churn"
+       ~doc:
+         "Drive every overlay through a seeded fault storm (crashes, leaves, joins, stale \
+          soft-state, lossy notifications) and report repair latency and stretch")
+    Term.(
+      ret
+        (const run $ verbose_arg $ seed_arg $ scale_arg $ crashes_arg $ leaves_arg $ joins_arg
+        $ loss_arg $ stale_arg))
 
 let () =
   let doc = "Topology-aware overlay construction using global soft-state (ICDCS 2003)" in

@@ -18,6 +18,7 @@ type config = {
   landmark_count : int;
   strategy : Strategy.t;
   condense : float;
+  ttl : float;
   curve : Landmark.Number.curve;
   index_dims : int;
   seed : int;
@@ -31,6 +32,7 @@ let default_config =
     landmark_count = 15;
     strategy = Strategy.hybrid ~rtts:10 ();
     condense = 1.0;
+    ttl = 600_000.0;
     curve = Number.Hilbert_curve;
     index_dims = 3;
     seed = 42;
@@ -117,7 +119,9 @@ let build ?(clock = fun () -> 0.0) oracle config =
     { (Number.default_scheme ~curve:config.curve ~max_latency ()) with
       Number.index_dims = min config.index_dims config.landmark_count }
   in
-  let store = Store.create ~condense:config.condense ~clock ~scheme can in
+  let store =
+    Store.create ~condense:config.condense ~default_ttl:config.ttl ~clock ~scheme can
+  in
   let vectors = Hashtbl.create (Array.length members) in
   Array.iter
     (fun node ->

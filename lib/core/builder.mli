@@ -13,6 +13,7 @@ type config = {
   landmark_count : int;
   strategy : Strategy.t;
   condense : float;  (** map condense/reduction rate *)
+  ttl : float;  (** soft-state entry lifetime, ms *)
   curve : Landmark.Number.curve;  (** space-filling curve for landmark numbers *)
   index_dims : int;  (** landmark-vector-index components *)
   seed : int;
@@ -20,7 +21,8 @@ type config = {
 
 val default_config : config
 (** Table 2 defaults: 2-d eCAN, span 2, 4096 members, 15 landmarks,
-    [Hybrid {rtts = 10}], condense 1.0, Hilbert, index_dims 3, seed 42. *)
+    [Hybrid {rtts = 10}], condense 1.0, ttl 600,000 ms, Hilbert,
+    index_dims 3, seed 42. *)
 
 type t = {
   config : config;

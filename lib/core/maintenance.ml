@@ -18,6 +18,7 @@ type t = {
   slot_subs : (int * int * int, Bus.subscription list) Hashtbl.t;
   mutable reselections : int;
   mutable refreshes : int;
+  mutable crashes : int;
   mutable stopped : bool;
 }
 
@@ -32,21 +33,36 @@ let overlay_latency builder ~host ~subscriber =
     | None -> Oracle.dist builder.Builder.oracle host subscriber
   end
 
+(* A refresh cycle is a re-publication: live entries get their TTL bumped
+   in place (stats preserved), and entries that expired (or were injected
+   stale and swept) are re-published through the bus, so watchers re-learn
+   of the still-alive member. *)
 let refresh_all t =
-  let store = t.builder.Builder.store in
+  let builder = t.builder in
+  let store = builder.Builder.store in
+  let can = Ecan_exp.can builder.Builder.ecan in
+  let span_bits = builder.Builder.config.Builder.span_bits in
   Array.iter
     (fun node ->
-      List.iter
-        (fun region ->
-          Store.refresh store ~region ~node;
-          t.refreshes <- t.refreshes + 1)
-        (Store.regions_of store node))
-    (Can_overlay.node_ids (Ecan_exp.can t.builder.Builder.ecan))
+      let path = (Can_overlay.node can node).Can_overlay.path in
+      let len = Array.length path / span_bits * span_bits in
+      let rec go l =
+        if l >= 0 then begin
+          let region = Array.sub path 0 l in
+          (match Store.find store ~region ~node with
+          | Some _ -> Store.refresh store ~region ~node
+          | None -> Bus.publish t.bus ~region ~node ~vector:(Builder.vector_of builder node));
+          t.refreshes <- t.refreshes + 1;
+          go (l - span_bits)
+        end
+      in
+      go len)
+    (Can_overlay.node_ids can)
 
-let start ~sim ?(refresh_period = 200_000.0) ?(sweep_period = 100_000.0) builder =
+let start ~sim ?(refresh_period = 200_000.0) ?(sweep_period = 100_000.0) ?channel builder =
   let bus =
     Bus.create ~sim ~latency:(fun ~host ~subscriber -> overlay_latency builder ~host ~subscriber)
-      builder.Builder.store
+      ?channel builder.Builder.store
   in
   let t =
     {
@@ -57,13 +73,16 @@ let start ~sim ?(refresh_period = 200_000.0) ?(sweep_period = 100_000.0) builder
       slot_subs = Hashtbl.create 256;
       reselections = 0;
       refreshes = 0;
+      crashes = 0;
       stopped = false;
     }
   in
   let refresh_timer = Sim.every sim ~period:refresh_period (fun () -> refresh_all t) in
-  let sweep_timer =
-    Sim.every sim ~period:sweep_period (fun () -> ignore (Store.expire_sweep builder.Builder.store))
-  in
+  (* Sweeping through the bus turns TTL expiry into departure
+     notifications, so watchers of a crashed (never-retracted) node's
+     entries eventually learn of its demise even without liveness
+     polling. *)
+  let sweep_timer = Sim.every sim ~period:sweep_period (fun () -> ignore (Bus.expire_sweep bus)) in
   t.timers <- [ refresh_timer; sweep_timer ];
   t
 
@@ -71,6 +90,7 @@ let bus t = t.bus
 
 let reselections t = t.reselections
 let refreshes t = t.refreshes
+let crashes t = t.crashes
 
 let drop_slot_subs t key =
   match Hashtbl.find_opt t.slot_subs key with
@@ -207,12 +227,14 @@ let node_joins t node =
       partners
   end
 
-let node_departs t node =
+(* Shared removal path: [node_departs] retracts soft state first (the
+   proactive policy, watchers notified); [node_crashes] is fail-stop — the
+   node vanishes without retraction, its entries rot until the TTL sweep
+   or liveness polling turns them into departure notifications. *)
+let remove_member t node ~retract =
   let builder = t.builder in
   let can = Ecan_exp.can builder.Builder.ecan in
-  (* Proactive policy: retract soft state first (notifying watchers), then
-     hand the zone over. *)
-  Bus.depart t.bus ~node;
+  if retract then Bus.depart t.bus ~node;
   let effect = Can_overlay.leave can node in
   Hashtbl.remove builder.Builder.vectors node;
   Store.rehost builder.Builder.store;
@@ -241,3 +263,48 @@ let node_departs t node =
     Hashtbl.fold (fun ((n, _, _) as k) _ acc -> if n = node then k :: acc else acc) t.slot_subs []
   in
   List.iter (drop_slot_subs t) own_keys
+
+let node_departs t node = remove_member t node ~retract:true
+
+let node_crashes t node =
+  t.crashes <- t.crashes + 1;
+  remove_member t node ~retract:false
+
+let audit_tables t =
+  let repaired = ref 0 in
+  let ecan = t.builder.Builder.ecan in
+  let can = Ecan_exp.can ecan in
+  Array.iter
+    (fun node ->
+      for row = 0 to Ecan_exp.rows ecan node - 1 do
+        let own = Ecan_exp.own_digit ecan node ~row in
+        for digit = 0 to (1 lsl Ecan_exp.span_bits ecan) - 1 do
+          if digit <> own then begin
+            let region = Ecan_exp.region_prefix ecan node ~row ~digit in
+            let wants_repair =
+              match Ecan_exp.entry ecan node ~row ~digit with
+              | Some target ->
+                (* Dead or relocated-out-of-region representative. *)
+                (not (Can_overlay.mem can target))
+                ||
+                let path = (Can_overlay.node can target).Can_overlay.path in
+                Array.length path < Array.length region
+                || not (Array.for_all2 ( = ) region (Array.sub path 0 (Array.length region)))
+              | None ->
+                (* Unfilled slot whose region has members: a publish
+                   notification was lost. *)
+                Array.length (Can_overlay.members_with_prefix can region) > 0
+            in
+            if wants_repair then begin
+              incr repaired;
+              reselect_slot t ~node ~row ~digit
+            end
+          end
+        done
+      done)
+    (Can_overlay.node_ids can);
+  !repaired
+
+let enable_table_audit t ?(period = 400_000.0) () =
+  let timer = Sim.every t.sim ~period (fun () -> ignore (audit_tables t)) in
+  t.timers <- timer :: t.timers

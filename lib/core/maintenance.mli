@@ -13,12 +13,17 @@ val start :
   sim:Engine.Sim.t ->
   ?refresh_period:float ->
   ?sweep_period:float ->
+  ?channel:(float -> float option) ->
   Builder.t ->
   t
 (** Begin periodic refresh (default every 200,000 ms, well inside the
     default 600,000 ms TTL) and expiry sweeps (default every 100,000 ms).
-    The builder must have been constructed with [~clock] reading this
-    simulation's time for expiry to be meaningful. *)
+    Sweeps run through the bus, so TTL expiry of a never-retracted entry
+    (a crashed node) notifies its [Departure_of] watchers.  [channel] is
+    passed to {!Pubsub.Bus.create} — wire {!Engine.Faults.perturb} here to
+    subject notification delivery to loss and extra delay.  The builder
+    must have been constructed with [~clock] reading this simulation's
+    time for expiry to be meaningful. *)
 
 val bus : t -> Pubsub.Bus.t
 (** The pub/sub bus wired to the overlay's store.  Notification delivery
@@ -46,6 +51,26 @@ val node_departs : t -> int -> unit
 (** Proactive departure of a member: retract its soft state (notifying
     watchers), remove it from the overlay, rehost entries. *)
 
+val node_crashes : t -> int -> unit
+(** Fail-stop failure: the member vanishes from the overlay (the
+    simulator's global view stands in for CAN's zone-takeover protocol,
+    run by the surviving nodes) but its soft-state entries are NOT
+    retracted — they linger, unrefreshed, until the TTL sweep or liveness
+    polling turns them into departure notifications.  Routing-table slots
+    pointing at the dead node dangle until that detection triggers
+    re-selection. *)
+
+val enable_table_audit : t -> ?period:float -> unit -> unit
+(** Periodic local self-check (default every 400,000 ms): each member
+    walks its own expressway slots and re-runs selection for any slot
+    whose representative is dead or no longer inside the slot's region,
+    and for any unfilled slot whose region has members — the safety net
+    that re-converges tables when a notification was lost by a faulty
+    channel.  Stopped by {!stop}. *)
+
+val audit_tables : t -> int
+(** One immediate audit pass; returns the number of slots repaired. *)
+
 val node_joins : t -> int -> unit
 (** Dynamic join through the pub/sub plane: the newcomer enters the CAN,
     publishes its soft state via the bus (so [Closer_than] /
@@ -57,3 +82,6 @@ val reselections : t -> int
 
 val refreshes : t -> int
 (** Number of entry refreshes performed so far. *)
+
+val crashes : t -> int
+(** Number of fail-stop failures injected so far. *)

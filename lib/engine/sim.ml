@@ -90,8 +90,15 @@ let every t ~period run =
   if period <= 0.0 then invalid_arg "Sim.every: period must be positive";
   let timer = { ev = Queue.dummy; alive = true } in
   let rec fire () =
-    run ();
-    if timer.alive then timer.ev <- enqueue t (t.clock +. period) fire
+    if timer.alive then begin
+      (* Re-arm BEFORE running the callback.  A [cancel] issued from inside
+         the callback then deactivates the already-queued next occurrence
+         through [timer.ev]; deciding to re-enqueue after the callback
+         returned would capture the alive/cancelled decision at the wrong
+         point and could re-arm a timer its own callback just cancelled. *)
+      timer.ev <- enqueue t (t.clock +. period) fire;
+      run ()
+    end
   in
   timer.ev <- enqueue t (t.clock +. period) fire;
   timer

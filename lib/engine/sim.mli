@@ -30,7 +30,9 @@ val every : t -> period:float -> (unit -> unit) -> timer
 
 val cancel : timer -> unit
 (** Cancel a timer; cancelling an already-fired or cancelled timer is a
-    no-op. *)
+    no-op.  Cancelling a periodic timer from inside its own callback is
+    safe: the occurrence already queued for the next period is deactivated
+    and the timer never fires again. *)
 
 val pending : t -> int
 (** Number of events still queued (cancelled events may be counted until

@@ -28,14 +28,33 @@ type t = {
   store : Store.t;
   sim : Sim.t option;
   latency : host:int -> subscriber:int -> float;
+  channel : float -> float option;
   subs : (int, subscription list ref) Hashtbl.t;  (* region key -> subscriptions *)
   mutable next_id : int;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
 }
 
 let region_key bits = Array.fold_left (fun acc b -> (acc lsl 1) lor b) 1 bits
 
-let create ?sim ?(latency = fun ~host:_ ~subscriber:_ -> 0.0) store =
-  { store; sim; latency; subs = Hashtbl.create 64; next_id = 0 }
+let create ?sim ?(latency = fun ~host:_ ~subscriber:_ -> 0.0)
+    ?(channel = fun delay -> Some delay) store =
+  {
+    store;
+    sim;
+    latency;
+    channel;
+    subs = Hashtbl.create 64;
+    next_id = 0;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+  }
+
+let sent_count t = t.sent
+let delivered_count t = t.delivered
+let dropped_count t = t.dropped
 
 let store t = t.store
 
@@ -85,13 +104,20 @@ let matches sub ~vector event =
 
 let deliver t sub ~host event =
   let fire at =
-    if sub.active then sub.handler { subscriber = sub.subscriber; event; delivered_at = at }
+    if sub.active then begin
+      t.delivered <- t.delivered + 1;
+      sub.handler { subscriber = sub.subscriber; event; delivered_at = at }
+    end
   in
-  match t.sim with
-  | None -> fire 0.0
-  | Some sim ->
-    let delay = Float.max 0.0 (t.latency ~host ~subscriber:sub.subscriber) in
-    ignore (Sim.schedule sim ~delay (fun () -> fire (Sim.now sim)))
+  t.sent <- t.sent + 1;
+  let base = Float.max 0.0 (t.latency ~host ~subscriber:sub.subscriber) in
+  match t.channel base with
+  | None -> t.dropped <- t.dropped + 1
+  | Some total -> (
+    match t.sim with
+    | None -> fire 0.0
+    | Some sim ->
+      ignore (Sim.schedule sim ~delay:(Float.max 0.0 total) (fun () -> fire (Sim.now sim))))
 
 let notify t ~region ~vector ~host event =
   match Hashtbl.find_opt t.subs (region_key region) with
@@ -131,6 +157,16 @@ let update_load t ~region ~node ~load ~capacity =
     Store.update_stats t.store ~region ~node ~load ~capacity;
     let host = host_for t ~region ~vector:e.Store.Entry.vector in
     notify t ~region ~vector:None ~host (Load_changed { region; entry_node = node; load })
+
+let expire_sweep t =
+  let dead = Store.sweep_expired t.store in
+  List.iter
+    (fun (region, (e : Store.Entry.t)) ->
+      let host = host_for t ~region ~vector:e.Store.Entry.vector in
+      notify t ~region ~vector:(Some e.Store.Entry.vector) ~host
+        (Entry_departed { region; entry_node = e.Store.Entry.node }))
+    dead;
+  List.length dead
 
 let depart t ~node =
   let regions = Store.regions_of t.store node in

@@ -35,13 +35,29 @@ type t
 val create :
   ?sim:Engine.Sim.t ->
   ?latency:(host:int -> subscriber:int -> float) ->
+  ?channel:(float -> float option) ->
   Softstate.Store.t ->
   t
 (** Wrap a store.  Without [sim], notifications are delivered
     synchronously at time 0; with it, they are scheduled [latency]
-    milliseconds ahead (default latency 0). *)
+    milliseconds ahead (default latency 0).
+
+    [channel] models the delivery medium: it receives the base delay and
+    returns the total delay, or [None] to drop the notification outright
+    (fault injection — see {!Engine.Faults.perturb}).  Default: deliver
+    with the base delay. *)
 
 val store : t -> Softstate.Store.t
+
+val sent_count : t -> int
+(** Notifications handed to the channel so far (delivered + in flight +
+    dropped) — the maintenance traffic a churn experiment accounts. *)
+
+val delivered_count : t -> int
+(** Notifications actually delivered to live subscriptions. *)
+
+val dropped_count : t -> int
+(** Notifications the channel decided to drop. *)
 
 val subscribe :
   t ->
@@ -66,3 +82,9 @@ val update_load : t -> region:int array -> node:int -> load:float -> capacity:fl
 val depart : t -> node:int -> unit
 (** Proactive departure: unpublish the node from every region and notify
     the matching subscribers of each. *)
+
+val expire_sweep : t -> int
+(** TTL sweep through the bus: purge expired entries
+    ({!Softstate.Store.sweep_expired}) and notify each region's
+    [Departure_of] watchers — how crashed nodes whose state was never
+    retracted are eventually noticed.  Returns the purge count. *)

@@ -277,20 +277,51 @@ let hosting_stats t =
   in
   Prelude.Stats.summarize (Array.of_list counts)
 
-let expire_sweep t =
-  let dropped = ref 0 in
+let sweep_expired t =
+  let dead = ref [] in
+  Hashtbl.iter
+    (fun key m ->
+      Hashtbl.iter
+        (fun _ e -> if not (live t e) then dead := (Hashtbl.find t.regions key, e, m) :: !dead)
+        m.entries)
+    t.maps;
+  List.rev_map
+    (fun (region, e, m) ->
+      remove_entry t m e;
+      (region, e))
+    !dead
+
+let expire_sweep t = List.length (sweep_expired t)
+
+let expire_node t node =
+  let now = t.clock () in
+  let aged = ref 0 in
   Hashtbl.iter
     (fun _ m ->
-      let dead =
-        Hashtbl.fold (fun _ e acc -> if live t e then acc else e :: acc) m.entries []
-      in
-      List.iter
-        (fun e ->
-          remove_entry t m e;
-          incr dropped)
-        dead)
+      match Hashtbl.find_opt m.entries node with
+      | Some e when live t e ->
+        e.Entry.expires <- now;
+        incr aged
+      | Some _ | None -> ())
     t.maps;
-  !dropped
+  !aged
+
+let inject_staleness t ~rng ~fraction =
+  if fraction < 0.0 || fraction > 1.0 then
+    invalid_arg "Store.inject_staleness: fraction out of [0,1]";
+  let now = t.clock () in
+  let aged = ref 0 in
+  Hashtbl.iter
+    (fun _ m ->
+      Hashtbl.iter
+        (fun _ e ->
+          if live t e && Prelude.Rng.chance rng fraction then begin
+            e.Entry.expires <- now;
+            incr aged
+          end)
+        m.entries)
+    t.maps;
+  !aged
 
 let rehost t =
   Hashtbl.iter

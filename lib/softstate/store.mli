@@ -130,6 +130,20 @@ val hosting_stats : t -> Prelude.Stats.summary
 val expire_sweep : t -> int
 (** Purge expired entries; returns how many were dropped. *)
 
+val sweep_expired : t -> (int array * Entry.t) list
+(** Like {!expire_sweep} but returns the purged [(region, entry)] pairs,
+    so a maintenance layer can turn TTL expiry into departure
+    notifications for the region's subscribers. *)
+
+val expire_node : t -> int -> int
+(** Fault injection: age every live entry describing the node so it is
+    expired as of now (invisible to lookups, purged by the next sweep).
+    Returns how many entries were aged. *)
+
+val inject_staleness : t -> rng:Prelude.Rng.t -> fraction:float -> int
+(** Fault injection: age a random [fraction] of all live entries to
+    expired-as-of-now.  Returns how many entries were aged. *)
+
 val rehost : t -> unit
 (** Recompute entry hosting after overlay membership changed (zones moved).
     Positions are stable; only the position->owner assignment is redone. *)

@@ -1,0 +1,544 @@
+module Oracle = Topology.Oracle
+module Builder = Core.Builder
+module Maintenance = Core.Maintenance
+module Measure = Core.Measure
+module Sim = Engine.Sim
+module Faults = Engine.Faults
+module Store = Softstate.Store
+module Bus = Pubsub.Bus
+module Can_overlay = Can.Overlay
+module Ecan_exp = Ecan.Expressway
+module Ring = Chord.Ring
+module Mesh = Pastry.Mesh
+module Landmarks = Landmark.Landmarks
+module Rng = Prelude.Rng
+
+type outcome = {
+  overlay : string;
+  stretch_before : float;
+  stretch_storm : float;
+  stretch_repaired : float;
+  repair_ms : float;
+  repair_work : int;
+  notifications : int;
+  drops : int;
+  converged : bool;
+}
+
+(* Soft-state timeline: short enough that a storm's stale entries expire
+   and are repaired well inside the settle window, long enough that the
+   refresh traffic stays modest. *)
+let ttl = 60_000.0
+let refresh_period = 20_000.0
+let sweep_period = 5_000.0
+let liveness_period = 15_000.0
+let audit_period = 30_000.0
+let probe_period = 10_000.0
+let settle = 240_000.0
+let stab_period = 20_000.0 (* Chord/Pastry periodic stabilisation *)
+let stretch_samples = 256
+let min_membership = 8 (* never churn the overlay below this *)
+
+let mean = function
+  | [] -> Float.nan
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* Convergence oracles                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let ecan_slots ecan node =
+  let acc = ref [] in
+  for row = Ecan_exp.rows ecan node - 1 downto 0 do
+    let own = Ecan_exp.own_digit ecan node ~row in
+    for digit = (1 lsl Ecan_exp.span_bits ecan) - 1 downto 0 do
+      if digit <> own then acc := (row, digit) :: !acc
+    done
+  done;
+  !acc
+
+let ecan_convergence ?(tolerance = 0.02) (b : Builder.t) =
+  let ecan = b.Builder.ecan in
+  let can = Ecan_exp.can ecan in
+  let ids = Can_overlay.node_ids can in
+  let in_region region target =
+    Can_overlay.mem can target
+    &&
+    let path = (Can_overlay.node can target).Can_overlay.path in
+    Array.length path >= Array.length region
+    && Array.for_all2 ( = ) region (Array.sub path 0 (Array.length region))
+  in
+  (* Snapshot the churned tables, rebuild clean, diff, restore. *)
+  let snapshot =
+    Array.map
+      (fun id ->
+        ( id,
+          List.map
+            (fun (row, digit) -> (row, digit, Ecan_exp.entry ecan id ~row ~digit))
+            (ecan_slots ecan id) ))
+      ids
+  in
+  Builder.rebuild_tables b b.Builder.config.Builder.strategy;
+  let invalid = ref 0 and missing = ref 0 and extra = ref 0 and slots = ref 0 in
+  Array.iter
+    (fun (id, per_slot) ->
+      List.iter
+        (fun (row, digit, churned) ->
+          incr slots;
+          let clean = Ecan_exp.entry ecan id ~row ~digit in
+          (match (churned, clean) with
+          | Some tgt, _ when not (in_region (Ecan_exp.region_prefix ecan id ~row ~digit) tgt) ->
+            incr invalid
+          | None, Some _ -> incr missing
+          | Some _, None -> incr extra
+          | _ -> ());
+          Ecan_exp.set_entry ecan id ~row ~digit churned)
+        per_slot)
+    snapshot;
+  let bad = !invalid + !missing + !extra in
+  if float_of_int bad <= tolerance *. float_of_int (max 1 !slots) then Ok ()
+  else
+    Error
+      (Printf.sprintf "tables diverge from clean rebuild: %d dead/out-of-region, %d unfilled, %d spurious of %d slots"
+         !invalid !missing !extra !slots)
+
+let chord_convergence ?(samples = 64) ~seed ring =
+  match Ring.check_invariants ring with
+  | Error _ as e -> e
+  | Ok () ->
+    let ids = Ring.node_ids ring in
+    if Array.length ids = 0 then Error "empty ring"
+    else begin
+      let bits = Ring.key_bits ring in
+      let space = 1 lsl bits in
+      let missing = ref 0 in
+      Array.iter
+        (fun id ->
+          let key = Ring.key_of ring id in
+          let filled = Ring.fingers ring id in
+          for i = 0 to bits - 1 do
+            let lo = (key + (1 lsl i)) land (space - 1) in
+            let members = Ring.arc_members ring ~lo ~span:(1 lsl i) in
+            if Array.exists (fun m -> m <> id) members && not (List.mem_assoc i filled) then
+              incr missing
+          done)
+        ids;
+      if !missing > 0 then
+        Error (Printf.sprintf "%d fingers unset for inhabited arcs" !missing)
+      else begin
+        let rng = Rng.create seed in
+        let bad = ref 0 in
+        for _ = 1 to samples do
+          let src = Rng.pick rng ids in
+          let key = Rng.int rng space in
+          match Ring.route ring ~src ~key with
+          | Some (_ :: _ as hops) when List.nth hops (List.length hops - 1) = Ring.successor_node ring key
+            -> ()
+          | _ -> incr bad
+        done;
+        if !bad = 0 then Ok ()
+        else Error (Printf.sprintf "%d of %d routes missed the key successor" !bad samples)
+      end
+    end
+
+let pastry_convergence ?(samples = 64) ~seed mesh =
+  match Mesh.check_invariants mesh with
+  | Error _ as e -> e
+  | Ok () ->
+    let ids = Mesh.node_ids mesh in
+    if Array.length ids = 0 then Error "empty mesh"
+    else begin
+      let nd = Mesh.num_digits mesh and db = Mesh.digit_bits mesh in
+      (* Count members under every prefix once, so the per-slot
+         inhabitation test is O(1). *)
+      let counts = Hashtbl.create 4096 in
+      Array.iter
+        (fun id ->
+          let pid = Mesh.pastry_id mesh id in
+          for r = 1 to nd do
+            let key = (r, pid lsr (db * (nd - r))) in
+            Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+          done)
+        ids;
+      let missing = ref 0 in
+      Array.iter
+        (fun id ->
+          let pid = Mesh.pastry_id mesh id in
+          let filled = Mesh.table_entries mesh id in
+          for r = 0 to nd - 1 do
+            let own = Mesh.digit mesh pid r in
+            for c = 0 to (1 lsl db) - 1 do
+              if c <> own then begin
+                let p = (pid lsr (db * (nd - r - 1))) land lnot ((1 lsl db) - 1) lor c in
+                let inhabited = Hashtbl.mem counts (r + 1, p) in
+                let have = List.exists (fun (rr, cc, _) -> rr = r && cc = c) filled in
+                if inhabited && not have then incr missing
+              end
+            done
+          done)
+        ids;
+      if !missing > 0 then
+        Error (Printf.sprintf "%d routing slots unfilled for inhabited prefixes" !missing)
+      else begin
+        let rng = Rng.create seed in
+        let space = 1 lsl (db * nd) in
+        let bad = ref 0 in
+        for _ = 1 to samples do
+          let src = Rng.pick rng ids in
+          let key = Rng.int rng space in
+          match Mesh.route mesh ~src ~key with
+          | Some (_ :: _ as hops) when List.nth hops (List.length hops - 1) = Mesh.owner_of mesh key
+            -> ()
+          | _ -> incr bad
+        done;
+        if !bad = 0 then Ok ()
+        else Error (Printf.sprintf "%d of %d routes missed the key owner" !bad samples)
+      end
+    end
+
+(* ------------------------------------------------------------------ *)
+(* eCAN (and plain-CAN baseline) under the storm                       *)
+(* ------------------------------------------------------------------ *)
+
+let ecan_outcomes ?(size = 256) ?(seed = 11) ?(storm = Faults.default_storm)
+    ?(channel = Faults.reliable) oracle =
+  let sim = Sim.create () in
+  let faults = Faults.create ~channel ~seed:(seed * 1009 + 1) () in
+  let config =
+    { Builder.default_config with Builder.overlay_size = size; ttl; seed = seed * 1009 + 2 }
+  in
+  let b = Builder.build ~clock:(fun () -> Sim.now sim) oracle config in
+  let can = Ecan_exp.can b.Builder.ecan in
+  let m =
+    Maintenance.start ~sim ~refresh_period ~sweep_period ~channel:(Faults.perturb faults) b
+  in
+  Maintenance.subscribe_all_slots m;
+  Maintenance.enable_liveness_polling m ~period:liveness_period
+    ~is_alive:(fun n -> Can_overlay.mem can n) ();
+  Maintenance.enable_table_audit m ~period:audit_period ();
+  (* Joiners come from physical nodes outside the initial membership. *)
+  let joiners =
+    Array.of_seq
+      (Seq.filter
+         (fun i -> not (Can_overlay.mem can i))
+         (Seq.init (Oracle.node_count oracle) (fun i -> i)))
+  in
+  let next_join = ref 0 in
+  let drv = Rng.create (seed * 1009 + 3) in
+  let handler (ev : Faults.event) =
+    match ev.Faults.action with
+    | Faults.Crash ->
+      let ids = Can_overlay.node_ids can in
+      if Array.length ids > min_membership then begin
+        let victim = Rng.pick drv ids in
+        Faults.note faults (Printf.sprintf "crash node %d" victim);
+        Maintenance.node_crashes m victim
+      end
+    | Faults.Leave ->
+      let ids = Can_overlay.node_ids can in
+      if Array.length ids > min_membership then begin
+        let victim = Rng.pick drv ids in
+        Faults.note faults (Printf.sprintf "leave node %d" victim);
+        Maintenance.node_departs m victim
+      end
+    | Faults.Join ->
+      if !next_join < Array.length joiners then begin
+        let newcomer = joiners.(!next_join) in
+        incr next_join;
+        Faults.note faults (Printf.sprintf "join node %d" newcomer);
+        Maintenance.node_joins m newcomer
+      end
+    | Faults.Expire fraction ->
+      let aged = Store.inject_staleness b.Builder.store ~rng:drv ~fraction in
+      Faults.note faults (Printf.sprintf "staleness injected into %d entries" aged)
+  in
+  Faults.install faults ~sim ~plan:(Faults.plan faults storm) ~handler;
+  let storm_end = storm.Faults.start +. storm.Faults.spread in
+  let ecan_stretch () = (Measure.route_stretch ~pairs:stretch_samples b).Measure.stretch.Prelude.Stats.mean in
+  let can_stretch () = (Measure.can_route_report ~pairs:stretch_samples b).Measure.stretch.Prelude.Stats.mean in
+  let before = ecan_stretch () and can_before = can_stretch () in
+  Sim.run ~until:storm_end sim;
+  let at_storm = ecan_stretch () and can_storm = can_stretch () in
+  (* Convergence probe: a periodic check that cancels itself — from inside
+     its own callback — the first time the oracle passes. *)
+  let converged_at = ref Float.nan in
+  let probe_timer = ref None in
+  let probe () =
+    match ecan_convergence b with
+    | Ok () ->
+      converged_at := Sim.now sim;
+      Option.iter Sim.cancel !probe_timer
+    | Error _ -> ()
+  in
+  probe_timer := Some (Sim.every sim ~period:probe_period probe);
+  Sim.run ~until:(storm_end +. settle) sim;
+  let repaired = ecan_stretch () and can_repaired = can_stretch () in
+  let converged, repair_ms =
+    if Float.is_nan !converged_at then
+      (* Never during the window; accept a pass at the horizon itself. *)
+      match ecan_convergence b with
+      | Ok () -> (true, settle)
+      | Error _ -> (false, Float.nan)
+    else (true, !converged_at -. storm_end)
+  in
+  let bus = Maintenance.bus m in
+  let ecan_outcome =
+    {
+      overlay = "eCAN+pub/sub";
+      stretch_before = before;
+      stretch_storm = at_storm;
+      stretch_repaired = repaired;
+      repair_ms;
+      repair_work = Maintenance.reselections m;
+      notifications = Bus.sent_count bus;
+      drops = Bus.dropped_count bus;
+      converged;
+    }
+  in
+  (* Plain CAN on the same substrate: zone takeover is part of the leave /
+     crash handling itself, so greedy routing is consistent the moment the
+     storm ends — the baseline "repairs" instantly but routes without
+     expressways. *)
+  let can_outcome =
+    {
+      overlay = "CAN (greedy)";
+      stretch_before = can_before;
+      stretch_storm = can_storm;
+      stretch_repaired = can_repaired;
+      repair_ms = 0.0;
+      repair_work = 0;
+      notifications = 0;
+      drops = 0;
+      converged = Can_overlay.check_invariants can = Ok ();
+    }
+  in
+  Maintenance.stop m;
+  (ecan_outcome, can_outcome)
+
+(* ------------------------------------------------------------------ *)
+(* Chord / Pastry under the same storm                                 *)
+(* ------------------------------------------------------------------ *)
+
+let hybrid_pick oracle vector_of ~rtts ~node ~candidates =
+  let qvec = vector_of node in
+  let ranked =
+    candidates
+    |> Array.to_list
+    |> List.filter (fun c -> c <> node)
+    |> List.map (fun c -> (Landmarks.vector_dist qvec (vector_of c), c))
+    |> List.sort compare
+    |> List.map snd
+  in
+  let rec go best = function
+    | [] -> best
+    | c :: rest ->
+      let d = Oracle.measure oracle node c in
+      go (match best with Some (bd, _) when bd <= d -> best | _ -> Some (d, c)) rest
+  in
+  match go None (List.filteri (fun i _ -> i < rtts) ranked) with
+  | Some (_, c) -> Some c
+  | None -> None
+
+(* The Chord and Pastry drivers share everything but the overlay calls. *)
+let ring_like_outcome ~overlay ~size ~seed ~storm ~oracle ops =
+  let member_rng = Rng.create (seed * 2003 + 1) in
+  let all = Array.init (Oracle.node_count oracle) (fun i -> i) in
+  let members = Rng.sample member_rng size all in
+  let lms = Landmarks.choose (Rng.create (seed * 2003 + 2)) oracle 15 in
+  let vectors = Hashtbl.create (2 * size) in
+  let vector_of node =
+    match Hashtbl.find_opt vectors node with
+    | Some v -> v
+    | None ->
+      let v = Landmarks.vector lms node in
+      Hashtbl.replace vectors node v;
+      v
+  in
+  let work = ref 0 in
+  let pick ~node ~candidates =
+    incr work;
+    hybrid_pick oracle vector_of ~rtts:5 ~node ~candidates
+  in
+  let add, remove, rebuild, node_ids, stretch_once, convergence = ops ~pick in
+  Array.iter add members;
+  rebuild ();
+  work := 0;
+  let joiner_set = Hashtbl.create 64 in
+  Array.iter (fun m -> Hashtbl.replace joiner_set m ()) members;
+  let joiners =
+    Array.of_seq
+      (Seq.filter (fun i -> not (Hashtbl.mem joiner_set i)) (Seq.init (Array.length all) (fun i -> i)))
+  in
+  let next_join = ref 0 in
+  let sim = Sim.create () in
+  let faults = Faults.create ~seed:(seed * 2003 + 3) () in
+  let drv = Rng.create (seed * 2003 + 4) in
+  let handler (ev : Faults.event) =
+    match ev.Faults.action with
+    | Faults.Crash | Faults.Leave ->
+      (* Without soft state there is nothing to leave gracefully: both are
+         a membership loss repaired by the next stabilisation round. *)
+      let ids = node_ids () in
+      if Array.length ids > min_membership then begin
+        let victim = Rng.pick drv ids in
+        Faults.note faults (Printf.sprintf "%s node %d"
+            (match ev.Faults.action with Faults.Crash -> "crash" | _ -> "leave") victim);
+        remove victim
+      end
+    | Faults.Join ->
+      if !next_join < Array.length joiners then begin
+        let newcomer = joiners.(!next_join) in
+        incr next_join;
+        Faults.note faults (Printf.sprintf "join node %d" newcomer);
+        add newcomer
+      end
+    | Faults.Expire _ ->
+      (* No soft-state plane in this driver; staleness has no analogue. *)
+      Faults.note faults "staleness (no-op: no soft-state plane)"
+  in
+  Faults.install faults ~sim ~plan:(Faults.plan faults storm) ~handler;
+  ignore (Sim.every sim ~period:stab_period (fun () -> rebuild ()));
+  let storm_end = storm.Faults.start +. storm.Faults.spread in
+  let before = stretch_once (seed * 2003 + 5) in
+  Sim.run ~until:storm_end sim;
+  let at_storm = stretch_once (seed * 2003 + 6) in
+  let converged_at = ref Float.nan in
+  let probe_timer = ref None in
+  let probe () =
+    match convergence ~seed:(seed * 2003 + 7) with
+    | Ok () ->
+      converged_at := Sim.now sim;
+      Option.iter Sim.cancel !probe_timer
+    | Error _ -> ()
+  in
+  probe_timer := Some (Sim.every sim ~period:probe_period probe);
+  Sim.run ~until:(storm_end +. settle) sim;
+  let repaired = stretch_once (seed * 2003 + 8) in
+  let converged, repair_ms =
+    if Float.is_nan !converged_at then
+      match convergence ~seed:(seed * 2003 + 7) with
+      | Ok () -> (true, settle)
+      | Error _ -> (false, Float.nan)
+    else (true, !converged_at -. storm_end)
+  in
+  {
+    overlay;
+    stretch_before = before;
+    stretch_storm = at_storm;
+    stretch_repaired = repaired;
+    repair_ms;
+    repair_work = !work;
+    notifications = 0;
+    drops = 0;
+    converged;
+  }
+
+let chord_outcome ?(size = 256) ?(seed = 11) ?(storm = Faults.default_storm) oracle =
+  let ring = Ring.create () in
+  let ring_rng = Rng.create (seed * 2003 + 9) in
+  ring_like_outcome ~overlay:"Chord+stab" ~size ~seed ~storm ~oracle (fun ~pick ->
+      let add id = Ring.add_node ring ~rng:ring_rng id in
+      let remove id = Ring.remove_node ring id in
+      let rebuild () =
+        Ring.build_fingers ring ~selector:(fun ~node ~arc:_ ~candidates -> pick ~node ~candidates)
+      in
+      let node_ids () = Ring.node_ids ring in
+      let stretch_once probe_seed =
+        let rng = Rng.create probe_seed in
+        let ids = Ring.node_ids ring in
+        let acc = ref [] in
+        for _ = 1 to stretch_samples do
+          let src = Rng.pick rng ids in
+          let key = Rng.int rng (1 lsl Ring.key_bits ring) in
+          match Ring.route ring ~src ~key with
+          | Some hops ->
+            let owner = Ring.successor_node ring key in
+            let shortest = Oracle.dist oracle src owner in
+            if shortest > 0.0 then
+              acc := (Core.Measure.path_latency oracle hops /. shortest) :: !acc
+          | None -> ()
+        done;
+        mean !acc
+      in
+      let convergence ~seed = chord_convergence ~seed ring in
+      (add, remove, rebuild, node_ids, stretch_once, convergence))
+
+let pastry_outcome ?(size = 256) ?(seed = 11) ?(storm = Faults.default_storm) oracle =
+  let mesh = Mesh.create () in
+  let mesh_rng = Rng.create (seed * 2003 + 10) in
+  ring_like_outcome ~overlay:"Pastry+stab" ~size ~seed ~storm ~oracle (fun ~pick ->
+      let add id = Mesh.add_node mesh ~rng:mesh_rng id in
+      let remove id = Mesh.remove_node mesh id in
+      let rebuild () =
+        Mesh.build_tables mesh ~selector:(fun ~node ~prefix:_ ~candidates -> pick ~node ~candidates)
+      in
+      let node_ids () = Mesh.node_ids mesh in
+      let stretch_once probe_seed =
+        let rng = Rng.create probe_seed in
+        let ids = Mesh.node_ids mesh in
+        let space = 1 lsl (Mesh.digit_bits mesh * Mesh.num_digits mesh) in
+        let acc = ref [] in
+        for _ = 1 to stretch_samples do
+          let src = Rng.pick rng ids in
+          let key = Rng.int rng space in
+          match Mesh.route mesh ~src ~key with
+          | Some hops ->
+            let owner = Mesh.owner_of mesh key in
+            let shortest = Oracle.dist oracle src owner in
+            if shortest > 0.0 then
+              acc := (Core.Measure.path_latency oracle hops /. shortest) :: !acc
+          | None -> ()
+        done;
+        mean !acc
+      in
+      let convergence ~seed = pastry_convergence ~seed mesh in
+      (add, remove, rebuild, node_ids, stretch_once, convergence))
+
+(* ------------------------------------------------------------------ *)
+(* The experiment                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let default_channel = { Faults.loss = 0.05; delay_min = 5.0; delay_max = 50.0 }
+
+let run_custom ?(scale = 1) ?(seed = 11) ~storm ~channel ppf =
+  let oracle = Ctx.oracle ~scale Ctx.Tsk_large Topology.Transit_stub.Manual in
+  let size = max 96 (768 / scale) in
+  let ecan_o, can_o = ecan_outcomes ~size ~seed ~storm ~channel oracle in
+  let chord_o = chord_outcome ~size ~seed ~storm oracle in
+  let pastry_o = pastry_outcome ~size ~seed ~storm oracle in
+  let table =
+    Tableout.create
+      ~title:
+        (Printf.sprintf
+           "Churn storm over %d nodes: %d crashes, %d leaves, %d joins, %.0f%% staleness x%d, loss %.0f%%, seed %d"
+           size storm.Faults.crashes storm.Faults.leaves storm.Faults.joins
+           (100.0 *. storm.Faults.expire_fraction)
+           storm.Faults.expire_bursts
+           (100.0 *. channel.Faults.loss)
+           seed)
+      ~columns:
+        [ "overlay"; "stretch pre"; "storm"; "repaired"; "repair ms"; "work"; "notifs"; "drops"; "ok" ]
+  in
+  let row o =
+    Tableout.add_row table
+      [
+        o.overlay;
+        Tableout.cell_f o.stretch_before;
+        Tableout.cell_f o.stretch_storm;
+        Tableout.cell_f o.stretch_repaired;
+        (if Float.is_nan o.repair_ms then "-" else Printf.sprintf "%.0f" o.repair_ms);
+        Tableout.cell_i o.repair_work;
+        Tableout.cell_i o.notifications;
+        Tableout.cell_i o.drops;
+        (if o.converged then "yes" else "NO");
+      ]
+  in
+  List.iter row [ ecan_o; can_o; chord_o; pastry_o ];
+  Tableout.render ppf table;
+  Format.fprintf ppf
+    "  repair ms: storm end to first passing convergence oracle (probe every %.0fs).@."
+    (probe_period /. 1000.0);
+  Format.fprintf ppf
+    "  work: slot re-selections (eCAN) / stabilisation selector calls (Chord, Pastry).@."
+
+let run ?scale ?seed ppf = run_custom ?scale ?seed ~storm:Faults.default_storm ~channel:default_channel ppf

@@ -1,0 +1,86 @@
+(** Churn & fault-injection experiment: failure storms over every overlay.
+
+    The paper's central claim (§3.3–3.4, §5.2) is that global soft-state
+    plus publish/subscribe maintenance keeps topology-aware overlays
+    accurate {e under change}.  This workload drives all four overlays —
+    eCAN with the full soft-state/pub-sub machinery, plain CAN on the same
+    substrate, and Chord / Pastry under periodic stabilisation — through
+    the {e same} seeded fault storm (fail-stop crashes, graceful leaves,
+    join bursts, stale-state injection, lossy/delayed notification
+    delivery) and reports, per overlay:
+
+    - routing stretch before the storm, right after it, and once repaired;
+    - {e repair latency}: time from the end of the storm until the
+      convergence oracle first passes;
+    - {e repair work}: slot re-selections (eCAN) or stabilisation
+      selector invocations (Chord/Pastry);
+    - notification overhead and channel drops (eCAN's pub/sub plane).
+
+    Everything is deterministic from the seed: re-running with the same
+    seed reproduces the metrics bit for bit. *)
+
+type outcome = {
+  overlay : string;
+  stretch_before : float;
+  stretch_storm : float;  (** measured at the end of the storm, pre-repair *)
+  stretch_repaired : float;  (** measured at the settle horizon *)
+  repair_ms : float;  (** convergence time after storm end; nan if never *)
+  repair_work : int;
+  notifications : int;  (** pub/sub notifications sent (eCAN only) *)
+  drops : int;  (** notifications lost to the faulty channel *)
+  converged : bool;
+}
+
+val ecan_convergence : ?tolerance:float -> Core.Builder.t -> (unit, string) result
+(** Convergence oracle for the eCAN: snapshot the (post-churn) expressway
+    tables, rebuild them from scratch under the builder's strategy,
+    compare, and restore the snapshot.  Passes when the churned tables
+    match the clean rebuild within [tolerance] (default 0.02): at most
+    that fraction of slots may hold a dead / out-of-region representative,
+    be unfilled where the rebuild fills them, or be filled where the
+    rebuild cannot. *)
+
+val chord_convergence : ?samples:int -> seed:int -> Chord.Ring.t -> (unit, string) result
+(** Convergence oracle for Chord: structural invariants hold, every arc
+    that has members other than the owner carries a finger (matching what
+    a clean [build_fingers] would produce), and [samples] (default 64)
+    seeded random routes all terminate at the key's successor. *)
+
+val pastry_convergence : ?samples:int -> seed:int -> Pastry.Mesh.t -> (unit, string) result
+(** Convergence oracle for Pastry: structural invariants hold, every
+    routing slot whose prefix region is inhabited is filled, and seeded
+    random routes all terminate at the key's owner. *)
+
+val ecan_outcomes :
+  ?size:int ->
+  ?seed:int ->
+  ?storm:Engine.Faults.storm ->
+  ?channel:Engine.Faults.channel ->
+  Topology.Oracle.t ->
+  outcome * outcome
+(** Drive an eCAN (with pub/sub repair, liveness polling, TTL sweeps and
+    periodic table audit) through the storm; the second outcome is the
+    plain-CAN greedy-routing baseline measured on the same substrate at
+    the same instants.  [size] defaults to 256 members. *)
+
+val chord_outcome :
+  ?size:int -> ?seed:int -> ?storm:Engine.Faults.storm -> Topology.Oracle.t -> outcome
+(** Chord under the same storm, repaired by periodic stabilisation (full
+    finger rebuild with landmark+RTT hybrid selection). *)
+
+val pastry_outcome :
+  ?size:int -> ?seed:int -> ?storm:Engine.Faults.storm -> Topology.Oracle.t -> outcome
+(** Pastry under the same storm, repaired by periodic table rebuild. *)
+
+val run : ?scale:int -> ?seed:int -> Format.formatter -> unit
+(** The registry entry: default storm and channel, tsk-large/manual
+    topology, overlay size scaled by [scale]. *)
+
+val run_custom :
+  ?scale:int ->
+  ?seed:int ->
+  storm:Engine.Faults.storm ->
+  channel:Engine.Faults.channel ->
+  Format.formatter ->
+  unit
+(** [run] with an explicit storm and channel (the CLI hook). *)

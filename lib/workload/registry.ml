@@ -30,6 +30,8 @@ let all =
     entry "qos" "Section 6: load-aware neighbor selection" Exp_qos.run;
     entry "cost" "Messaging cost: probes to target stretch vs soft-state join" Exp_cost.run;
     entry "waxman" "Robustness: flat Waxman topology (no hierarchy)" Exp_waxman.run;
+    entry "churn" "Robustness: churn & fault storms, soft-state repair (all overlays)"
+      (fun ?scale ppf -> Exp_churn.run ?scale ppf);
   ]
 
 let find name = List.find_opt (fun e -> e.name = name) all

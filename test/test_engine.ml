@@ -62,6 +62,34 @@ let test_periodic_cancel_mid_stream () =
   Sim.run ~until:10.0 sim;
   Alcotest.(check int) "self-cancel after 3" 3 !count
 
+(* Regression: a periodic timer cancelled from inside its own run callback
+   must not re-enqueue — the very first firing is its last. *)
+let test_periodic_cancel_on_first_fire () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let timer = ref None in
+  timer :=
+    Some
+      (Sim.every sim ~period:7.0 (fun () ->
+           incr count;
+           Option.iter Sim.cancel !timer));
+  Sim.run ~until:1000.0 sim;
+  Alcotest.(check int) "exactly one firing" 1 !count;
+  Sim.run sim;
+  Alcotest.(check int) "queue drains without re-firing" 1 !count;
+  Alcotest.(check int) "nothing left pending" 0 (Sim.pending sim)
+
+(* Regression: cancelling from another event at the same instant — queued
+   before the periodic's occurrence — must suppress that occurrence. *)
+let test_periodic_cancel_same_instant () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let timer = ref None in
+  ignore (Sim.schedule sim ~delay:5.0 (fun () -> Option.iter Sim.cancel !timer));
+  timer := Some (Sim.every sim ~period:5.0 (fun () -> incr count));
+  Sim.run ~until:50.0 sim;
+  Alcotest.(check int) "cancelled before its first occurrence" 0 !count
+
 let test_run_until_advances_clock () =
   let sim = Sim.create () in
   ignore (Sim.schedule sim ~delay:50.0 ignore);
@@ -97,6 +125,10 @@ let suite =
     Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
     Alcotest.test_case "periodic" `Quick test_periodic;
     Alcotest.test_case "periodic self-cancel" `Quick test_periodic_cancel_mid_stream;
+    Alcotest.test_case "periodic self-cancel on first fire" `Quick
+      test_periodic_cancel_on_first_fire;
+    Alcotest.test_case "periodic cancelled at same instant" `Quick
+      test_periodic_cancel_same_instant;
     Alcotest.test_case "run ~until" `Quick test_run_until_advances_clock;
     Alcotest.test_case "rejects past times" `Quick test_rejects_past;
     Alcotest.test_case "manual stepping" `Quick test_step;

@@ -12,6 +12,7 @@ let () =
       ("pastry", Test_pastry.suite);
       ("softstate", Test_softstate.suite);
       ("pubsub", Test_pubsub.suite);
+      ("faults", Test_faults.suite);
       ("proximity", Test_proximity.suite);
       ("core", Test_core.suite);
       ("extensions", Test_extensions.suite);

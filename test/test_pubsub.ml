@@ -158,6 +158,109 @@ let test_multiple_subscribers () =
   Sim.run sim;
   Array.iteri (fun i c -> Alcotest.(check int) (Printf.sprintf "sub %d fired" i) 1 c) fired
 
+(* A handler that unsubscribes another subscription mid-dispatch: the
+   victim must not be notified for the event being dispatched (nor later).
+   Subscriptions are dispatched most-recent-first, so subscribe the victim
+   first and the killer second. *)
+let test_unsubscribe_during_dispatch () =
+  let bus, sim, rng = setup ~seed:9 () in
+  let victim_fired = ref 0 in
+  let victim =
+    Bus.subscribe bus ~subscriber:2 ~region:[||] ~condition:Bus.Any_new_entry
+      ~handler:(fun _ -> incr victim_fired)
+  in
+  let _killer =
+    Bus.subscribe bus ~subscriber:1 ~region:[||] ~condition:Bus.Any_new_entry
+      ~handler:(fun _ -> Bus.unsubscribe bus victim)
+  in
+  Bus.publish bus ~region:[||] ~node:3 ~vector:(vec rng);
+  Sim.run sim;
+  Alcotest.(check int) "victim silenced by in-flight unsubscribe" 0 !victim_fired;
+  Bus.publish bus ~region:[||] ~node:4 ~vector:(vec rng);
+  Sim.run sim;
+  Alcotest.(check int) "victim stays silent" 0 !victim_fired;
+  Alcotest.(check int) "only the killer remains" 1 (Bus.subscription_count bus ~region:[||])
+
+let test_duplicate_subscription () =
+  let bus, sim, rng = setup ~seed:10 () in
+  let fired = ref 0 in
+  let handler _ = incr fired in
+  let first =
+    Bus.subscribe bus ~subscriber:1 ~region:[||] ~condition:Bus.Any_new_entry ~handler
+  in
+  let _second =
+    Bus.subscribe bus ~subscriber:1 ~region:[||] ~condition:Bus.Any_new_entry ~handler
+  in
+  Bus.publish bus ~region:[||] ~node:5 ~vector:(vec rng);
+  Sim.run sim;
+  Alcotest.(check int) "identical subscriptions both fire" 2 !fired;
+  Bus.unsubscribe bus first;
+  Bus.publish bus ~region:[||] ~node:6 ~vector:(vec rng);
+  Sim.run sim;
+  Alcotest.(check int) "removing one duplicate leaves the other" 3 !fired
+
+(* Channel-injected delay reorders deliveries: the engine must deliver in
+   total-delay order regardless of send order, and delivered_at must carry
+   the perturbed time. *)
+let test_ordering_under_injected_delay () =
+  let rng = Rng.create 11 in
+  let can = Can_overlay.create ~dims:2 0 in
+  for id = 1 to 19 do
+    ignore (Can_overlay.join can id (Point.random rng 2))
+  done;
+  let sim = Sim.create () in
+  let store = Store.create ~clock:(fun () -> Sim.now sim) ~scheme can in
+  (* First message gets +30 ms, second +0: the second overtakes. *)
+  let extras = ref [ 30.0; 0.0 ] in
+  let channel base =
+    match !extras with
+    | e :: rest ->
+      extras := rest;
+      Some (base +. e)
+    | [] -> Some base
+  in
+  let bus = Bus.create ~sim ~latency:(fun ~host:_ ~subscriber:_ -> 10.0) ~channel store in
+  let deliveries = ref [] in
+  let _sub =
+    Bus.subscribe bus ~subscriber:1 ~region:[||] ~condition:Bus.Any_new_entry
+      ~handler:(fun n ->
+        match n.Bus.event with
+        | Bus.Entry_published { entry_node; _ } ->
+          deliveries := (entry_node, n.Bus.delivered_at) :: !deliveries
+        | _ -> ())
+  in
+  Bus.publish bus ~region:[||] ~node:7 ~vector:(vec rng);
+  Bus.publish bus ~region:[||] ~node:8 ~vector:(vec rng);
+  Sim.run sim;
+  (match List.rev !deliveries with
+  | [ (n1, t1); (n2, t2) ] ->
+    Alcotest.(check int) "delayed message overtaken" 8 n1;
+    Alcotest.(check (float 1e-9)) "undelayed arrives at base latency" 10.0 t1;
+    Alcotest.(check int) "perturbed message arrives last" 7 n2;
+    Alcotest.(check (float 1e-9)) "perturbed arrival time" 40.0 t2
+  | l -> Alcotest.fail (Printf.sprintf "expected 2 deliveries, got %d" (List.length l)));
+  Alcotest.(check int) "both sent" 2 (Bus.sent_count bus);
+  Alcotest.(check int) "both delivered" 2 (Bus.delivered_count bus);
+  Alcotest.(check int) "none dropped" 0 (Bus.dropped_count bus)
+
+let test_channel_drop () =
+  let bus, sim, rng = setup ~seed:12 () in
+  ignore bus;
+  (* A fresh bus over the same store but with a black-hole channel. *)
+  let store = Bus.store bus in
+  let dead_bus = Bus.create ~sim ~channel:(fun _ -> None) store in
+  let fired = ref 0 in
+  let _sub =
+    Bus.subscribe dead_bus ~subscriber:1 ~region:[||] ~condition:Bus.Any_new_entry
+      ~handler:(fun _ -> incr fired)
+  in
+  Bus.publish dead_bus ~region:[||] ~node:3 ~vector:(vec rng);
+  Sim.run sim;
+  Alcotest.(check int) "nothing delivered through a black hole" 0 !fired;
+  Alcotest.(check int) "send counted" 1 (Bus.sent_count dead_bus);
+  Alcotest.(check int) "drop counted" 1 (Bus.dropped_count dead_bus);
+  Alcotest.(check int) "no delivery counted" 0 (Bus.delivered_count dead_bus)
+
 let suite =
   [
     Alcotest.test_case "any-new-entry condition" `Quick test_any_new_entry;
@@ -168,4 +271,8 @@ let suite =
     Alcotest.test_case "unsubscribe" `Quick test_unsubscribe;
     Alcotest.test_case "delivery latency" `Quick test_delivery_latency;
     Alcotest.test_case "multiple subscribers" `Quick test_multiple_subscribers;
+    Alcotest.test_case "unsubscribe during dispatch" `Quick test_unsubscribe_during_dispatch;
+    Alcotest.test_case "duplicate subscription" `Quick test_duplicate_subscription;
+    Alcotest.test_case "ordering under injected delay" `Quick test_ordering_under_injected_delay;
+    Alcotest.test_case "channel drop" `Quick test_channel_drop;
   ]
