@@ -7,7 +7,9 @@
      dune exec bench/main.exe -- --scale 4     -- quarter-size workloads
      dune exec bench/main.exe -- --only fig10  -- a single experiment
      dune exec bench/main.exe -- --micro-only  -- just the micro-benchmarks
-     dune exec bench/main.exe -- --no-micro    -- just the paper experiments *)
+     dune exec bench/main.exe -- --no-micro    -- just the paper experiments
+     dune exec bench/main.exe -- --json out.json -- also dump the metrics
+                                                    registry as JSON *)
 
 module Registry = Workload.Registry
 
@@ -130,6 +132,7 @@ let () =
   let only = ref None in
   let micro = ref true in
   let paper = ref true in
+  let json = ref None in
   let args = Array.to_list Sys.argv in
   let rec parse = function
     | [] -> ()
@@ -138,6 +141,9 @@ let () =
       parse rest
     | "--only" :: v :: rest ->
       only := Some v;
+      parse rest
+    | "--json" :: v :: rest ->
+      json := Some v;
       parse rest
     | "--micro-only" :: rest ->
       paper := false;
@@ -159,4 +165,15 @@ let () =
       List.iter (fun e -> Format.fprintf ppf "  %s@." e.Registry.name) Registry.all;
       exit 1)
   | true, None -> Registry.run_all ~scale:!scale ppf);
-  if !micro && !only = None then Micro.run ppf
+  if !micro && !only = None then Micro.run ppf;
+  (* The experiments record into the process-global registry as they run;
+     the dump is deterministic (sorted instruments, fixed float format),
+     so same-seed runs produce byte-identical files. *)
+  match !json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Prelude.Json.to_string (Engine.Metrics.to_json Engine.Metrics.global));
+    output_char oc '\n';
+    close_out oc;
+    Format.fprintf ppf "metrics written to %s@." path

@@ -5,7 +5,9 @@
      experiment <id> [...]     run one paper experiment (or "all")
      gen-topology [...]        generate a transit-stub topology and print stats
      nn-search [...]           one nearest-neighbor search, all three algorithms
-     build [...]               build an overlay and report stretch under a strategy *)
+     build [...]               build an overlay and report stretch under a strategy
+     trace [...]               replay a seeded maintenance run and dump spans as
+                               Chrome-trace JSONL *)
 
 module Ts = Topology.Transit_stub
 module Oracle = Topology.Oracle
@@ -268,7 +270,118 @@ let churn_cmd =
         (const run $ verbose_arg $ seed_arg $ scale_arg $ crashes_arg $ leaves_arg $ joins_arg
         $ loss_arg $ stale_arg))
 
+(* ---- trace ---- *)
+
+let trace_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE" ~doc:"Write the JSONL spans to $(docv) instead of stdout.")
+  in
+  let size_arg =
+    Arg.(value & opt int 128 & info [ "nodes" ] ~docv:"N" ~doc:"Overlay size.")
+  in
+  let until_arg =
+    Arg.(value & opt float 120_000.0
+         & info [ "until" ] ~docv:"MS" ~doc:"Simulated horizon in milliseconds.")
+  in
+  let lookups_arg =
+    Arg.(value & opt int 32
+         & info [ "lookups" ] ~docv:"N" ~doc:"Routed lookups issued after the run (route spans).")
+  in
+  let run verbose variant latency seed scale size until lookups out =
+    if until <= 0.0 then `Error (false, "--until must be positive")
+    else begin
+      setup_logs verbose;
+      let oracle = Workload.Ctx.oracle ~scale variant latency in
+      let sim = Engine.Sim.create () in
+      let tracer = Engine.Trace.create ~clock:(fun () -> Engine.Sim.now sim) () in
+      let faults = Engine.Faults.create ~trace:tracer ~seed:(seed + 1) () in
+      (* Spans ride on the instrumented paths, so the run needs a registry
+         even though only the tracer's output is dumped. *)
+      let metrics = Engine.Metrics.create () in
+      let size = max 16 (size / scale) in
+      let b =
+        Builder.build ~metrics ~trace:tracer
+          ~clock:(fun () -> Engine.Sim.now sim)
+          oracle
+          { Builder.default_config with Builder.overlay_size = size; ttl = 60_000.0; seed }
+      in
+      let can = Ecan.Expressway.can b.Builder.ecan in
+      let m =
+        Core.Maintenance.start ~sim ~metrics ~trace:tracer ~refresh_period:20_000.0
+          ~sweep_period:5_000.0 ~channel:(Engine.Faults.perturb faults) b
+      in
+      Core.Maintenance.subscribe_all_slots m;
+      (* A small storm inside the horizon so the dump shows fault, sweep
+         and notification spans, not just refresh traffic. *)
+      let storm =
+        {
+          Engine.Faults.default_storm with
+          Engine.Faults.crashes = 2;
+          leaves = 2;
+          joins = 4;
+          expire_bursts = 1;
+          start = until /. 4.0;
+          spread = until /. 2.0;
+        }
+      in
+      let joiners =
+        Array.of_seq
+          (Seq.filter
+             (fun i -> not (Can_overlay.mem can i))
+             (Seq.init (Oracle.node_count oracle) (fun i -> i)))
+      in
+      let next_join = ref 0 in
+      let drv = Rng.create (seed + 2) in
+      let handler (ev : Engine.Faults.event) =
+        match ev.Engine.Faults.action with
+        | Engine.Faults.Crash ->
+          let ids = Can_overlay.node_ids can in
+          if Array.length ids > 8 then Core.Maintenance.node_crashes m (Rng.pick drv ids)
+        | Engine.Faults.Leave ->
+          let ids = Can_overlay.node_ids can in
+          if Array.length ids > 8 then Core.Maintenance.node_departs m (Rng.pick drv ids)
+        | Engine.Faults.Join ->
+          if !next_join < Array.length joiners then begin
+            Core.Maintenance.node_joins m joiners.(!next_join);
+            incr next_join
+          end
+        | Engine.Faults.Expire fraction ->
+          ignore (Softstate.Store.inject_staleness b.Builder.store ~rng:drv ~fraction)
+      in
+      Engine.Faults.install faults ~sim ~plan:(Engine.Faults.plan faults storm) ~handler;
+      Engine.Sim.run ~until sim;
+      let ids = Can_overlay.node_ids can in
+      for _ = 1 to lookups do
+        ignore
+          (Ecan.Expressway.route b.Builder.ecan ~src:(Rng.pick drv ids)
+             (Geometry.Point.random drv b.Builder.config.Builder.dims))
+      done;
+      Core.Maintenance.stop m;
+      (match out with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Engine.Trace.to_jsonl tracer);
+        close_out oc
+      | None -> print_string (Engine.Trace.to_jsonl tracer));
+      Logs.info (fun f ->
+          f "traced %d spans (%d dropped by ring wraparound)" (Engine.Trace.length tracer)
+            (Engine.Trace.dropped tracer));
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Replay a seeded maintenance run (refresh, sweeps, a small fault storm, routed \
+          lookups) and dump the event spans as Chrome-trace JSONL (load in chrome://tracing \
+          or Perfetto)")
+    Term.(
+      ret
+        (const run $ verbose_arg $ variant_arg $ latency_arg $ seed_arg $ scale_arg $ size_arg
+        $ until_arg $ lookups_arg $ out_arg))
+
 let () =
   let doc = "Topology-aware overlay construction using global soft-state (ICDCS 2003)" in
   let info = Cmd.info "topoaware" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; experiment_cmd; gen_topology_cmd; topo_info_cmd; nn_search_cmd; build_cmd; churn_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; experiment_cmd; gen_topology_cmd; topo_info_cmd; nn_search_cmd; build_cmd; churn_cmd; trace_cmd ]))

@@ -8,12 +8,21 @@ type node = {
   mutable neighbors : int list;
 }
 
+type obs = {
+  requests : Engine.Metrics.counter;
+  failures : Engine.Metrics.counter;
+  hops : Engine.Metrics.histogram;
+  join_hops : Engine.Metrics.histogram;
+  tracer : Engine.Trace.t option;
+}
+
 type t = {
   dims : int;
   nodes : (int, node) Hashtbl.t;
   by_path : (int, int) Hashtbl.t;  (* exact path key -> owner id *)
   prefix_members : (int, int list ref) Hashtbl.t;  (* prefix key -> member ids *)
   mutable rep : int;  (* arbitrary live member, default routing start *)
+  obs : obs option;
 }
 
 let max_depth = 60
@@ -56,7 +65,43 @@ let index_remove t n =
     | None -> ()
   done
 
-let create ~dims first =
+let make_obs ?metrics ?(labels = []) ?trace ~overlay () =
+  Option.map
+    (fun m ->
+      let labels = ("overlay", overlay) :: labels in
+      {
+        requests = Engine.Metrics.counter m ~labels "route_requests";
+        failures = Engine.Metrics.counter m ~labels "route_failures";
+        hops = Engine.Metrics.histogram m ~labels "route_hops";
+        join_hops = Engine.Metrics.histogram m ~labels "join_hops";
+        tracer = trace;
+      })
+    metrics
+
+(* Account one finished [route] call: hop histogram + per-hop spans on
+   success, a failure counter otherwise.  Identity on the result. *)
+let observe_route t result =
+  (match t.obs with
+  | None -> ()
+  | Some o ->
+    Engine.Metrics.incr o.requests;
+    (match result with
+    | Some hops ->
+      Engine.Metrics.observe o.hops (float_of_int (List.length hops - 1));
+      Option.iter
+        (fun tr ->
+          let rec go = function
+            | a :: (b :: _ as rest) ->
+              Engine.Trace.emit tr ~peer:b Engine.Trace.Route_hop ~node:a;
+              go rest
+            | [ _ ] | [] -> ()
+          in
+          go hops)
+        o.tracer
+    | None -> Engine.Metrics.incr o.failures));
+  result
+
+let create ?metrics ?labels ?trace ~dims first =
   if dims < 1 then invalid_arg "Can.create: dims must be >= 1";
   let t =
     {
@@ -65,6 +110,7 @@ let create ~dims first =
       by_path = Hashtbl.create 64;
       prefix_members = Hashtbl.create 64;
       rep = first;
+      obs = make_obs ?metrics ?labels ?trace ~overlay:"can" ();
     }
   in
   let n = { id = first; zone = Zone.full dims; path = [||]; neighbors = [] } in
@@ -120,8 +166,7 @@ let owner_of t point =
   in
   descend 0
 
-let route t ~src point =
-  if Array.length point <> t.dims then invalid_arg "Can.route: dimension mismatch";
+let route_uninstrumented t ~src point =
   let visited = Hashtbl.create 32 in
   let rec go u acc =
     if Zone.contains u.zone point then Some (List.rev (u.id :: acc))
@@ -144,6 +189,10 @@ let route t ~src point =
     end
   in
   go (node t src) []
+
+let route t ~src point =
+  if Array.length point <> t.dims then invalid_arg "Can.route: dimension mismatch";
+  observe_route t (route_uninstrumented t ~src point)
 
 let route_proximity t ~dist ~src point =
   if Array.length point <> t.dims then invalid_arg "Can.route_proximity: dimension mismatch";
@@ -196,11 +245,16 @@ let join t ?start id point =
   if mem t id then invalid_arg "Can.join: node already a member";
   if Array.length point <> t.dims then invalid_arg "Can.join: dimension mismatch";
   let start = match start with Some s -> s | None -> t.rep in
+  (* Joins route internally but are accounted separately ([join_hops]) so
+     the [route_hops] histogram only reflects explicit lookups. *)
   let hops =
-    match route t ~src:start point with
+    match route_uninstrumented t ~src:start point with
     | Some hops -> hops
     | None -> failwith "Can.join: routing failed"
   in
+  Option.iter
+    (fun o -> Engine.Metrics.observe o.join_hops (float_of_int (List.length hops - 1)))
+    t.obs;
   let owner = node t (List.nth hops (List.length hops - 1)) in
   let depth = Array.length owner.path in
   if depth >= max_depth then failwith "Can.join: max split depth exceeded";

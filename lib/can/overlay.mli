@@ -24,9 +24,21 @@ val max_depth : int
 (** Zone paths are capped at 60 bits; a join that would split deeper
     raises. *)
 
-val create : dims:int -> int -> t
+val create :
+  ?metrics:Engine.Metrics.t ->
+  ?labels:Engine.Metrics.labels ->
+  ?trace:Engine.Trace.t ->
+  dims:int ->
+  int ->
+  t
 (** [create ~dims first] starts an overlay whose sole member [first] owns
-    the entire space. *)
+    the entire space.
+
+    With [metrics], the overlay maintains [route_requests] /
+    [route_failures] counters and [route_hops] / [join_hops] histograms,
+    labeled [overlay=can] plus any extra [labels].  With [trace], every
+    successful {!route} additionally emits one [Route_hop] span per
+    forwarding step. *)
 
 val dims : t -> int
 val size : t -> int

@@ -2,6 +2,13 @@ module Rng = Prelude.Rng
 
 type node_state = { id : int; key : int; mutable fingers : int option array }
 
+type obs = {
+  requests : Engine.Metrics.counter;
+  failures : Engine.Metrics.counter;
+  hops : Engine.Metrics.histogram;
+  tracer : Engine.Trace.t option;
+}
+
 type t = {
   key_bits : int;
   ring : int;  (* 2^key_bits *)
@@ -9,12 +16,25 @@ type t = {
   keys : (int, int) Hashtbl.t;  (* ring key -> node id *)
   mutable sorted : (int * int) array;  (* (key, id), sorted by key *)
   mutable dirty : bool;
+  obs : obs option;
 }
 
 type selector = node:int -> arc:int * int -> candidates:int array -> int option
 
-let create ?(key_bits = 30) () =
+let create ?metrics ?(labels = []) ?trace ?(key_bits = 30) () =
   if key_bits < 4 || key_bits > 50 then invalid_arg "Chord.create: key_bits out of [4,50]";
+  let obs =
+    Option.map
+      (fun m ->
+        let labels = ("overlay", "chord") :: labels in
+        {
+          requests = Engine.Metrics.counter m ~labels "route_requests";
+          failures = Engine.Metrics.counter m ~labels "route_failures";
+          hops = Engine.Metrics.histogram m ~labels "route_hops";
+          tracer = trace;
+        })
+      metrics
+  in
   {
     key_bits;
     ring = 1 lsl key_bits;
@@ -22,6 +42,7 @@ let create ?(key_bits = 30) () =
     keys = Hashtbl.create 64;
     sorted = [||];
     dirty = false;
+    obs;
   }
 
 let key_bits t = t.key_bits
@@ -182,7 +203,26 @@ let route t ~src ~key =
       end
     end
   in
-  go (node t src) [] (4 * size t)
+  let result = go (node t src) [] (4 * size t) in
+  (match t.obs with
+  | None -> ()
+  | Some o ->
+    Engine.Metrics.incr o.requests;
+    (match result with
+    | Some hops ->
+      Engine.Metrics.observe o.hops (float_of_int (List.length hops - 1));
+      Option.iter
+        (fun tr ->
+          let rec spans = function
+            | a :: (b :: _ as rest) ->
+              Engine.Trace.emit tr ~peer:b Engine.Trace.Route_hop ~node:a;
+              spans rest
+            | [ _ ] | [] -> ()
+          in
+          spans hops)
+        o.tracer
+    | None -> Engine.Metrics.incr o.failures));
+  result
 
 let check_invariants t =
   let ( let* ) r f = Result.bind r f in

@@ -16,8 +16,19 @@ type selector = node:int -> arc:int * int -> candidates:int array -> int option
     [node] for the arc starting at [lo] (ring positions [lo, lo + span)).
     [candidates] is never empty. *)
 
-val create : ?key_bits:int -> unit -> t
-(** Empty ring; [key_bits] defaults to 30. *)
+val create :
+  ?metrics:Engine.Metrics.t ->
+  ?labels:Engine.Metrics.labels ->
+  ?trace:Engine.Trace.t ->
+  ?key_bits:int ->
+  unit ->
+  t
+(** Empty ring; [key_bits] defaults to 30.
+
+    With [metrics], {!route} maintains [route_requests] /
+    [route_failures] counters and a [route_hops] histogram labeled
+    [overlay=chord] plus any extra [labels].  With [trace], successful
+    routes emit one [Route_hop] span per forwarding step. *)
 
 val key_bits : t -> int
 val size : t -> int

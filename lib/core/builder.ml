@@ -96,7 +96,7 @@ let selector t strategy : Ecan_exp.selector =
     lookup_probe_selector t ~rtts ~lookup_results ~lookup_ttl ~score:(fun ~rtt ~entry ->
         rtt *. (1.0 +. (load_weight *. entry.Store.Entry.load)))
 
-let build ?(clock = fun () -> 0.0) oracle config =
+let build ?metrics ?labels ?trace ?(clock = fun () -> 0.0) oracle config =
   if config.overlay_size < 1 then invalid_arg "Builder.build: overlay_size must be >= 1";
   if config.overlay_size > Oracle.node_count oracle then
     invalid_arg "Builder.build: overlay larger than the topology";
@@ -108,11 +108,11 @@ let build ?(clock = fun () -> 0.0) oracle config =
   let landmark_rng = Rng.split rng in
   let all = Array.init (Oracle.node_count oracle) (fun i -> i) in
   let members = Rng.sample member_rng config.overlay_size all in
-  let can = Can_overlay.create ~dims:config.dims members.(0) in
+  let can = Can_overlay.create ?metrics ?labels ?trace ~dims:config.dims members.(0) in
   for i = 1 to Array.length members - 1 do
     ignore (Can_overlay.join can members.(i) (Point.random join_rng config.dims))
   done;
-  let ecan = Ecan_exp.create ~span_bits:config.span_bits can in
+  let ecan = Ecan_exp.create ?metrics ?labels ?trace ~span_bits:config.span_bits can in
   let landmarks = Landmarks.choose landmark_rng oracle config.landmark_count in
   let max_latency = Number.calibrate_max_latency oracle (Landmarks.nodes landmarks) in
   let scheme =
@@ -120,7 +120,8 @@ let build ?(clock = fun () -> 0.0) oracle config =
       Number.index_dims = min config.index_dims config.landmark_count }
   in
   let store =
-    Store.create ~condense:config.condense ~default_ttl:config.ttl ~clock ~scheme can
+    Store.create ?metrics ?labels ?trace ~condense:config.condense ~default_ttl:config.ttl
+      ~clock ~scheme can
   in
   let vectors = Hashtbl.create (Array.length members) in
   Array.iter

@@ -36,10 +36,22 @@ type t = {
   rng : Prelude.Rng.t;  (** generator for post-build sampling *)
 }
 
-val build : ?clock:(unit -> float) -> Topology.Oracle.t -> config -> t
+val build :
+  ?metrics:Engine.Metrics.t ->
+  ?labels:Engine.Metrics.labels ->
+  ?trace:Engine.Trace.t ->
+  ?clock:(unit -> float) ->
+  Topology.Oracle.t ->
+  config ->
+  t
 (** Build the overlay.  Raises [Invalid_argument] if [overlay_size]
     exceeds the topology size or parameters are out of range.  [clock]
-    feeds the soft-state store (defaults to a frozen clock). *)
+    feeds the soft-state store (defaults to a frozen clock).
+
+    [metrics] / [labels] / [trace] are threaded into the CAN overlay, the
+    eCAN expressway, and the soft-state store, so one registry observes
+    the whole stack (see {!Engine.Metrics} for the instrument names each
+    layer registers). *)
 
 val vector_of : t -> int -> float array
 (** Landmark vector of a member.  Raises [Not_found] for non-members. *)

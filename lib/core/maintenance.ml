@@ -10,6 +10,12 @@ let log_src = Logs.Src.create "topo.maintenance" ~doc:"Soft-state upkeep and pub
 
 module Log = (val Logs.src_log log_src)
 
+type counters = {
+  c_reselections : Engine.Metrics.counter;
+  c_refreshes : Engine.Metrics.counter;
+  c_crashes : Engine.Metrics.counter;
+}
+
 type t = {
   builder : Builder.t;
   sim : Sim.t;
@@ -20,6 +26,7 @@ type t = {
   mutable refreshes : int;
   mutable crashes : int;
   mutable stopped : bool;
+  counters : counters option;
 }
 
 let overlay_latency builder ~host ~subscriber =
@@ -53,16 +60,32 @@ let refresh_all t =
           | Some _ -> Store.refresh store ~region ~node
           | None -> Bus.publish t.bus ~region ~node ~vector:(Builder.vector_of builder node));
           t.refreshes <- t.refreshes + 1;
+          (match t.counters with
+          | Some c -> Engine.Metrics.incr c.c_refreshes
+          | None -> ());
           go (l - span_bits)
         end
       in
       go len)
     (Can_overlay.node_ids can)
 
-let start ~sim ?(refresh_period = 200_000.0) ?(sweep_period = 100_000.0) ?channel builder =
+let start ~sim ?metrics ?labels ?trace ?(refresh_period = 200_000.0)
+    ?(sweep_period = 100_000.0) ?channel builder =
   let bus =
-    Bus.create ~sim ~latency:(fun ~host ~subscriber -> overlay_latency builder ~host ~subscriber)
+    Bus.create ?metrics ?labels ?trace ~sim
+      ~latency:(fun ~host ~subscriber -> overlay_latency builder ~host ~subscriber)
       ?channel builder.Builder.store
+  in
+  let counters =
+    Option.map
+      (fun m ->
+        let labels = Option.value labels ~default:[] in
+        {
+          c_reselections = Engine.Metrics.counter m ~labels "maintenance_reselections";
+          c_refreshes = Engine.Metrics.counter m ~labels "maintenance_refreshes";
+          c_crashes = Engine.Metrics.counter m ~labels "maintenance_crashes";
+        })
+      metrics
   in
   let t =
     {
@@ -75,6 +98,7 @@ let start ~sim ?(refresh_period = 200_000.0) ?(sweep_period = 100_000.0) ?channe
       refreshes = 0;
       crashes = 0;
       stopped = false;
+      counters;
     }
   in
   let refresh_timer = Sim.every sim ~period:refresh_period (fun () -> refresh_all t) in
@@ -124,6 +148,9 @@ let rec reselect_slot t ~node ~row ~digit =
       in
       Ecan_exp.set_entry ecan node ~row ~digit choice;
       t.reselections <- t.reselections + 1;
+      (match t.counters with
+      | Some c -> Engine.Metrics.incr c.c_reselections
+      | None -> ());
       Log.debug (fun m ->
           m "reselected slot (%d,%d,%d) -> %s" node row digit
             (match choice with Some c -> string_of_int c | None -> "-"));
@@ -268,6 +295,7 @@ let node_departs t node = remove_member t node ~retract:true
 
 let node_crashes t node =
   t.crashes <- t.crashes + 1;
+  (match t.counters with Some c -> Engine.Metrics.incr c.c_crashes | None -> ());
   remove_member t node ~retract:false
 
 let audit_tables t =

@@ -11,6 +11,9 @@ type t
 
 val start :
   sim:Engine.Sim.t ->
+  ?metrics:Engine.Metrics.t ->
+  ?labels:Engine.Metrics.labels ->
+  ?trace:Engine.Trace.t ->
   ?refresh_period:float ->
   ?sweep_period:float ->
   ?channel:(float -> float option) ->
@@ -23,7 +26,13 @@ val start :
     passed to {!Pubsub.Bus.create} — wire {!Engine.Faults.perturb} here to
     subject notification delivery to loss and extra delay.  The builder
     must have been constructed with [~clock] reading this simulation's
-    time for expiry to be meaningful. *)
+    time for expiry to be meaningful.
+
+    [metrics] / [labels] / [trace] are handed to the bus (notification
+    counters and [Notify] spans) and additionally maintain
+    [maintenance_reselections] / [maintenance_refreshes] /
+    [maintenance_crashes] counters mirroring {!reselections} /
+    {!refreshes} / {!crashes}. *)
 
 val bus : t -> Pubsub.Bus.t
 (** The pub/sub bus wired to the overlay's store.  Notification delivery

@@ -21,9 +21,21 @@ type selector = node:int -> region:int array -> candidates:int array -> int opti
     region and is never empty.  Returning [None] leaves the entry
     unfilled. *)
 
-val create : ?span_bits:int -> Can.Overlay.t -> t
+val create :
+  ?metrics:Engine.Metrics.t ->
+  ?labels:Engine.Metrics.labels ->
+  ?trace:Engine.Trace.t ->
+  ?span_bits:int ->
+  Can.Overlay.t ->
+  t
 (** Wrap a CAN overlay; [span_bits] (default 2, i.e. k = 4 zones per
-    higher-order zone) is the number of path bits per routing digit. *)
+    higher-order zone) is the number of path bits per routing digit.
+
+    With [metrics], expressway routing maintains [route_requests] /
+    [route_failures] counters and a [route_hops] histogram labeled
+    [overlay=ecan] plus any extra [labels] (independent of the wrapped
+    CAN's own instruments).  With [trace], successful routes emit one
+    [Route_hop] span per forwarding step. *)
 
 val can : t -> Can.Overlay.t
 val span_bits : t -> int

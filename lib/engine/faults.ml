@@ -35,12 +35,13 @@ type t = {
   plan_rng : Rng.t;
   chan_rng : Rng.t;
   buf : Buffer.t;
+  tracer : Trace.t option;
   mutable lines : string list;  (* reversed *)
   mutable messages : int;
   mutable dropped : int;
 }
 
-let create ?(channel = reliable) ~seed () =
+let create ?(channel = reliable) ?trace ~seed () =
   if channel.loss < 0.0 || channel.loss > 1.0 then
     invalid_arg "Faults.create: loss must be in [0,1]";
   if channel.delay_min < 0.0 || channel.delay_max < channel.delay_min then
@@ -52,6 +53,7 @@ let create ?(channel = reliable) ~seed () =
     plan_rng = Rng.split root;
     chan_rng = Rng.split root;
     buf = Buffer.create 1024;
+    tracer = trace;
     lines = [];
     messages = 0;
     dropped = 0;
@@ -92,6 +94,11 @@ let install t ~sim ~plan ~handler =
       ignore
         (Sim.schedule_at sim e.at (fun () ->
              note t (Printf.sprintf "fire t=%.6f %s" (Sim.now sim) (action_name e.action));
+             Option.iter
+               (fun tr ->
+                 Trace.emit tr ~at:(Sim.now sim) ~note:(action_name e.action) Trace.Fault_inject
+                   ~node:(-1))
+               t.tracer;
              handler e)))
     plan
 
@@ -101,6 +108,7 @@ let perturb t base =
   if t.channel.loss > 0.0 && Rng.chance t.chan_rng t.channel.loss then begin
     t.dropped <- t.dropped + 1;
     note t (Printf.sprintf "msg %d drop" n);
+    Option.iter (fun tr -> Trace.emit tr ~note:"channel drop" Trace.Fault_inject ~node:(-1)) t.tracer;
     None
   end
   else begin

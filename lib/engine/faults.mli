@@ -51,8 +51,11 @@ val reliable : channel
 
 type t
 
-val create : ?channel:channel -> seed:int -> unit -> t
-(** Fresh injector.  [channel] defaults to {!reliable}. *)
+val create : ?channel:channel -> ?trace:Trace.t -> seed:int -> unit -> t
+(** Fresh injector.  [channel] defaults to {!reliable}.  With [trace],
+    every fired plan event and every channel drop additionally emits a
+    [Fault_inject] span (the textual trace of {!trace_digest} is
+    unaffected). *)
 
 val seed : t -> int
 

@@ -66,9 +66,23 @@ module Queue = struct
   let peek q = if q.size = 0 then None else Some q.data.(0)
 end
 
-type t = { mutable clock : float; mutable next_seq : int; queue : Queue.t }
+type counters = { run : Metrics.counter; cancelled : Metrics.counter }
 
-let create () = { clock = 0.0; next_seq = 0; queue = Queue.create () }
+type t = {
+  mutable clock : float;
+  mutable next_seq : int;
+  queue : Queue.t;
+  counters : counters option;
+}
+
+let create ?metrics () =
+  let counters =
+    Option.map
+      (fun m ->
+        { run = Metrics.counter m "sim_events_run"; cancelled = Metrics.counter m "sim_events_cancelled" })
+      metrics
+  in
+  { clock = 0.0; next_seq = 0; queue = Queue.create (); counters }
 
 let now t = t.clock
 
@@ -116,8 +130,10 @@ let step t =
     t.clock <- e.time;
     if e.active then begin
       e.active <- false;
+      Option.iter (fun c -> Metrics.incr c.run) t.counters;
       e.run ()
-    end;
+    end
+    else Option.iter (fun c -> Metrics.incr c.cancelled) t.counters;
     true
 
 let run ?until t =

@@ -11,8 +11,10 @@ type t
 type timer
 (** Handle for a scheduled (possibly periodic) event. *)
 
-val create : unit -> t
-(** Fresh simulation with the clock at 0. *)
+val create : ?metrics:Metrics.t -> unit -> t
+(** Fresh simulation with the clock at 0.  With [metrics], the engine
+    maintains the [sim_events_run] and [sim_events_cancelled] counters
+    (cancelled events are counted when they are reaped from the queue). *)
 
 val now : t -> float
 (** Current virtual time. *)

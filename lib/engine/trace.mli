@@ -1,0 +1,75 @@
+(** Ring-buffer event tracer with a typed span taxonomy.
+
+    A tracer records {e spans} — timestamped, typed events with a subject
+    node, an optional peer and a free-form note — into a fixed-capacity
+    ring buffer.  Recording is O(1) and allocation-light, so hot paths
+    (per-hop routing, per-probe measurement) can trace unconditionally;
+    when the buffer wraps, the oldest spans are overwritten and counted in
+    {!dropped}.
+
+    Timestamps come from the injected [clock] (pass
+    [fun () -> Sim.now sim] to trace virtual time) unless the caller
+    supplies [?at] explicitly.  Spans can be dumped as JSONL in the Chrome
+    trace-event format ([chrome://tracing] / Perfetto load it directly);
+    see the [topoaware trace] subcommand. *)
+
+type kind =
+  | Route_hop  (** one overlay forwarding step; [node] -> [peer] *)
+  | Rtt_probe  (** one RTT measurement; [dur] is the measured RTT *)
+  | Map_publish  (** a soft-state entry was (re)published; [note] is the region *)
+  | Notify  (** a pub/sub notification; [dur] is the delivery delay *)
+  | Ttl_sweep  (** a TTL sweep ran; [note] is the purge count *)
+  | Fault_inject  (** a fault-plan event fired or a message was perturbed *)
+
+val kind_name : kind -> string
+(** ["route_hop"], ["rtt_probe"], ["map_publish"], ["notify"],
+    ["ttl_sweep"], ["fault_inject"]. *)
+
+type span = {
+  seq : int;  (** global emission index, 0-based, never reused *)
+  at : float;  (** virtual time (ms) the span started *)
+  dur : float;  (** duration (ms); 0 for instant events *)
+  kind : kind;
+  node : int;  (** subject overlay node; -1 for system-wide events *)
+  peer : int;  (** counterpart node; -1 when not applicable *)
+  note : string;  (** free-form detail; [""] when not applicable *)
+}
+
+type t
+
+val default_capacity : int
+(** 65,536 spans. *)
+
+val create : ?capacity:int -> ?clock:(unit -> float) -> unit -> t
+(** Fresh tracer.  [capacity] (default {!default_capacity}) must be >= 1;
+    [clock] (default: frozen at 0) supplies [at] when {!emit} is not given
+    one. *)
+
+val emit : t -> ?at:float -> ?dur:float -> ?peer:int -> ?note:string -> kind -> node:int -> unit
+(** Record one span.  [at] defaults to [clock ()], [dur] to 0, [peer] to
+    -1, [note] to [""]. *)
+
+val spans : t -> span list
+(** Retained spans, oldest first (at most [capacity]; earlier spans may
+    have been overwritten — see {!dropped}). *)
+
+val emitted : t -> int
+(** Spans ever recorded. *)
+
+val length : t -> int
+(** Spans currently retained, [min emitted capacity]. *)
+
+val dropped : t -> int
+(** Spans lost to ring wraparound, [emitted - length]. *)
+
+val capacity : t -> int
+
+val span_json : span -> Prelude.Json.t
+(** One Chrome trace event (["ph": "X"], [ts]/[dur] in microseconds,
+    [tid] = node, [args] holds [seq]/[peer]/[note]). *)
+
+val to_jsonl : t -> string
+(** All retained spans as JSON Lines, one {!span_json} object per line. *)
+
+val pp_jsonl : Format.formatter -> t -> unit
+(** Print {!to_jsonl} to a formatter. *)

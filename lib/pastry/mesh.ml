@@ -7,6 +7,13 @@ type node_state = {
   mutable leaves : int array;
 }
 
+type obs = {
+  requests : Engine.Metrics.counter;
+  failures : Engine.Metrics.counter;
+  hops : Engine.Metrics.histogram;
+  tracer : Engine.Trace.t option;
+}
+
 type t = {
   digit_bits : int;
   num_digits : int;
@@ -18,16 +25,30 @@ type t = {
   prefix_members : (int, int list ref) Hashtbl.t;  (* (len, prefix) key -> ids *)
   mutable sorted : (int * int) array;  (* (pid, id) *)
   mutable dirty : bool;
+  obs : obs option;
 }
 
 type selector = node:int -> prefix:int array -> candidates:int array -> int option
 
-let create ?(digit_bits = 2) ?(num_digits = 15) ?(leaf_radius = 4) () =
+let create ?metrics ?(labels = []) ?trace ?(digit_bits = 2) ?(num_digits = 15) ?(leaf_radius = 4)
+    () =
   if digit_bits < 1 || digit_bits > 4 then invalid_arg "Pastry.create: digit_bits out of [1,4]";
   if num_digits < 2 then invalid_arg "Pastry.create: num_digits must be >= 2";
   if digit_bits * num_digits > 50 then invalid_arg "Pastry.create: id space too large";
   if leaf_radius < 1 then invalid_arg "Pastry.create: leaf_radius must be >= 1";
   let id_bits = digit_bits * num_digits in
+  let obs =
+    Option.map
+      (fun m ->
+        let labels = ("overlay", "pastry") :: labels in
+        {
+          requests = Engine.Metrics.counter m ~labels "route_requests";
+          failures = Engine.Metrics.counter m ~labels "route_failures";
+          hops = Engine.Metrics.histogram m ~labels "route_hops";
+          tracer = trace;
+        })
+      metrics
+  in
   {
     digit_bits;
     num_digits;
@@ -39,6 +60,7 @@ let create ?(digit_bits = 2) ?(num_digits = 15) ?(leaf_radius = 4) () =
     prefix_members = Hashtbl.create 64;
     sorted = [||];
     dirty = false;
+    obs;
   }
 
 let digit_bits t = t.digit_bits
@@ -265,7 +287,26 @@ let route t ~src ~key =
       | None -> None
     end
   in
-  go (node t src) [] (4 * size t)
+  let result = go (node t src) [] (4 * size t) in
+  (match t.obs with
+  | None -> ()
+  | Some o ->
+    Engine.Metrics.incr o.requests;
+    (match result with
+    | Some hops ->
+      Engine.Metrics.observe o.hops (float_of_int (List.length hops - 1));
+      Option.iter
+        (fun tr ->
+          let rec spans = function
+            | a :: (b :: _ as rest) ->
+              Engine.Trace.emit tr ~peer:b Engine.Trace.Route_hop ~node:a;
+              spans rest
+            | [ _ ] | [] -> ()
+          in
+          spans hops)
+        o.tracer
+    | None -> Engine.Metrics.incr o.failures));
+  result
 
 let check_invariants t =
   let ( let* ) r f = Result.bind r f in

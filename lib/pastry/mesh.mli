@@ -15,9 +15,22 @@ type selector = node:int -> prefix:int array -> candidates:int array -> int opti
     identified by [prefix] (digit string).  [candidates] is never
     empty. *)
 
-val create : ?digit_bits:int -> ?num_digits:int -> ?leaf_radius:int -> unit -> t
+val create :
+  ?metrics:Engine.Metrics.t ->
+  ?labels:Engine.Metrics.labels ->
+  ?trace:Engine.Trace.t ->
+  ?digit_bits:int ->
+  ?num_digits:int ->
+  ?leaf_radius:int ->
+  unit ->
+  t
 (** Defaults: 2-bit digits (base 4), 15 digits (30-bit ids), leaf radius 4
-    (8 leaves). *)
+    (8 leaves).
+
+    With [metrics], {!route} maintains [route_requests] /
+    [route_failures] counters and a [route_hops] histogram labeled
+    [overlay=pastry] plus any extra [labels].  With [trace], successful
+    routes emit one [Route_hop] span per forwarding step. *)
 
 val digit_bits : t -> int
 val num_digits : t -> int

@@ -1,0 +1,237 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---- printing ---- *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* 12 significant digits: short, stable, and round-trippable (a decimal of
+   <= 15 significant digits survives decimal -> double -> decimal). *)
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.12g" f
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    (* JSON has no NaN/infinity literals. *)
+    if Float.is_finite f then Buffer.add_string buf (float_repr f)
+    else Buffer.add_string buf "null"
+  | String s -> escape_string buf s
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        to_buffer buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape_string buf k;
+        Buffer.add_char buf ':';
+        to_buffer buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  to_buffer buf v;
+  Buffer.contents buf
+
+(* ---- parsing ---- *)
+
+exception Parse_error of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' ->
+        (if !pos >= n then fail "unterminated escape";
+         let e = s.[!pos] in
+         advance ();
+         match e with
+         | '"' -> Buffer.add_char buf '"'
+         | '\\' -> Buffer.add_char buf '\\'
+         | '/' -> Buffer.add_char buf '/'
+         | 'b' -> Buffer.add_char buf '\b'
+         | 'f' -> Buffer.add_char buf '\012'
+         | 'n' -> Buffer.add_char buf '\n'
+         | 'r' -> Buffer.add_char buf '\r'
+         | 't' -> Buffer.add_char buf '\t'
+         | 'u' ->
+           if !pos + 4 > n then fail "truncated \\u escape";
+           let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+           pos := !pos + 4;
+           (* ASCII escapes decode to bytes; non-ASCII code points are
+              preserved as UTF-8. *)
+           if code < 0x80 then Buffer.add_char buf (Char.chr code)
+           else if code < 0x800 then begin
+             Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+             Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+           end
+           else begin
+             Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+             Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+             Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+           end
+         | _ -> fail "bad escape");
+        go ()
+      | c ->
+        Buffer.add_char buf c;
+        go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    if String.contains tok '.' || String.contains tok 'e' || String.contains tok 'E' then
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> fail "bad number"
+    else begin
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> (
+        match float_of_string_opt tok with Some f -> Float f | None -> fail "bad number")
+    end
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> String (parse_string ())
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let items = ref [ parse_value () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          advance ();
+          items := parse_value () :: !items;
+          skip_ws ()
+        done;
+        expect ']';
+        List (List.rev !items)
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          (k, v)
+        in
+        let fields = ref [ field () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          advance ();
+          fields := field () :: !fields;
+          skip_ws ()
+        done;
+        expect '}';
+        Obj (List.rev !fields)
+      end
+    | Some _ -> parse_number ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing characters";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+(* ---- accessors ---- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_float_opt = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_int_opt = function Int i -> Some i | _ -> None
+let to_string_opt = function String s -> Some s | _ -> None
+let to_list_opt = function List l -> Some l | _ -> None

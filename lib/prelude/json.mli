@@ -1,0 +1,38 @@
+(** Minimal zero-dependency JSON: a value type, a deterministic compact
+    printer, and a strict parser.
+
+    The printer is the repo's machine-readable output format (metrics
+    snapshots, trace spans): field order is exactly the order of the
+    [Obj] list, floats print with 12 significant digits (integral floats
+    as ["x.0"]), so equal values always print to equal bytes — the
+    property the byte-identical-benchmark contract relies on.  Non-finite
+    floats print as [null] (JSON has no NaN/infinity). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no whitespace), deterministic. *)
+
+val to_buffer : Buffer.t -> t -> unit
+(** Append the compact rendering to a buffer. *)
+
+val of_string : string -> (t, string) result
+(** Strict parse of one JSON value (trailing garbage is an error).
+    Numbers without [.]/[e] parse as [Int], others as [Float]. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] on missing field or non-object. *)
+
+val to_float_opt : t -> float option
+(** [Float] or [Int] payload as a float. *)
+
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option
+val to_list_opt : t -> t list option

@@ -25,18 +25,25 @@ let variance xs =
 let stddev xs = sqrt (variance xs)
 
 let percentile xs p =
+  (* [not (p >= 0.0 && ...)] instead of [p < 0.0 || ...]: a NaN [p] fails
+     every comparison and would otherwise slip through the guard into an
+     undefined [int_of_float nan] index below. *)
+  if not (p >= 0.0 && p <= 100.0) then invalid_arg "Stats.percentile: p out of [0,100]";
   let n = Array.length xs in
-  if n = 0 then invalid_arg "Stats.percentile: empty sample";
-  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of [0,100]";
-  let sorted = Array.copy xs in
-  Array.sort compare sorted;
-  let rank = p /. 100.0 *. float_of_int (n - 1) in
-  let lo = int_of_float (Float.floor rank) in
-  let hi = int_of_float (Float.ceil rank) in
-  if lo = hi then sorted.(lo)
+  if n = 0 then 0.0
+  else if n = 1 then xs.(0)
   else begin
-    let frac = rank -. float_of_int lo in
-    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    let clamp i = if i < 0 then 0 else if i > n - 1 then n - 1 else i in
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = clamp (int_of_float (Float.floor rank)) in
+    let hi = clamp (int_of_float (Float.ceil rank)) in
+    if lo = hi then sorted.(lo)
+    else begin
+      let frac = rank -. float_of_int lo in
+      (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+    end
   end
 
 let summarize xs =

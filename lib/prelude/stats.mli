@@ -24,8 +24,10 @@ val stddev : float array -> float
 
 val percentile : float array -> float -> float
 (** [percentile xs p] with [p] in [0,100], linear interpolation between
-    order statistics.  Raises [Invalid_argument] on an empty array or a
-    [p] outside [0,100].  Does not mutate its argument. *)
+    order statistics.  Total over the sample: 0 for an empty array (the
+    same convention as {!summarize}), the sole element for a singleton.
+    Raises [Invalid_argument] only when [p] is outside [0,100] (including
+    NaN).  Does not mutate its argument. *)
 
 val summarize : float array -> summary
 (** Full summary of a sample. *)

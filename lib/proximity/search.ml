@@ -4,6 +4,26 @@ module Landmarks = Landmark.Landmarks
 
 type curve = { found : int array; dist : float array }
 
+type obs = { n_probes : Engine.Metrics.counter; tracer : Engine.Trace.t option }
+
+let make_obs ?metrics ?(labels = []) ?trace ~algo () =
+  Option.map
+    (fun m ->
+      {
+        n_probes = Engine.Metrics.counter m ~labels:(("algo", algo) :: labels) "rtt_probes";
+        tracer = trace;
+      })
+    metrics
+
+let observe_probe obs ~query node d =
+  match obs with
+  | None -> ()
+  | Some o ->
+    Engine.Metrics.incr o.n_probes;
+    Option.iter
+      (fun tr -> Engine.Trace.emit tr ~dur:d ~peer:node Engine.Trace.Rtt_probe ~node:query)
+      o.tracer
+
 let true_nearest oracle ~query ~candidates =
   match Oracle.nearest oracle query candidates with
   | Some (node, d) -> (node, d)
@@ -11,7 +31,7 @@ let true_nearest oracle ~query ~candidates =
 
 (* Fold a probe sequence into a best-so-far curve, spending at most
    [budget] measurements. *)
-let curve_of_probes oracle ~query ~budget probes =
+let curve_of_probes ?obs oracle ~query ~budget probes =
   let found = ref [] and dist = ref [] in
   let best_node = ref (-1) and best_dist = ref infinity in
   let spent = ref 0 in
@@ -19,6 +39,7 @@ let curve_of_probes oracle ~query ~budget probes =
     if !spent < budget then begin
       incr spent;
       let d = Oracle.measure oracle query node in
+      observe_probe obs ~query node d;
       if d < !best_dist then begin
         best_dist := d;
         best_node := node
@@ -30,9 +51,10 @@ let curve_of_probes oracle ~query ~budget probes =
   List.iter probe probes;
   { found = Array.of_list (List.rev !found); dist = Array.of_list (List.rev !dist) }
 
-let ers_curve oracle can ~query ~budget =
+let ers_curve ?metrics ?labels ?trace oracle can ~query ~budget =
   if not (Can_overlay.mem can query) then invalid_arg "Search.ers_curve: query not a member";
   if budget < 1 then invalid_arg "Search.ers_curve: budget must be >= 1";
+  let obs = make_obs ?metrics ?labels ?trace ~algo:"ers" () in
   (* Breadth-first rings over the CAN neighbor graph. *)
   let visited = Hashtbl.create 64 in
   Hashtbl.replace visited query ();
@@ -56,10 +78,12 @@ let ers_curve oracle can ~query ~budget =
       ring := next
     end
   done;
-  curve_of_probes oracle ~query ~budget (List.rev !probes)
+  curve_of_probes ?obs oracle ~query ~budget (List.rev !probes)
 
-let ranked_curve oracle ~score ~candidates ~query ~budget =
+let ranked_curve ?metrics ?labels ?trace ?(algo = "ranked") oracle ~score ~candidates ~query
+    ~budget =
   if budget < 1 then invalid_arg "Search.ranked_curve: budget must be >= 1";
+  let obs = make_obs ?metrics ?labels ?trace ~algo () in
   let ranked =
     candidates
     |> Array.to_list
@@ -68,19 +92,20 @@ let ranked_curve oracle ~score ~candidates ~query ~budget =
     |> List.sort compare
     |> List.map snd
   in
-  curve_of_probes oracle ~query ~budget ranked
+  curve_of_probes ?obs oracle ~query ~budget ranked
 
-let hybrid_curve oracle ~vector_of ~candidates ~query ~budget =
+let hybrid_curve ?metrics ?labels ?trace oracle ~vector_of ~candidates ~query ~budget =
   if budget < 1 then invalid_arg "Search.hybrid_curve: budget must be >= 1";
   let qvec = vector_of query in
-  ranked_curve oracle
+  ranked_curve ?metrics ?labels ?trace ~algo:"hybrid" oracle
     ~score:(fun c -> Landmarks.vector_dist qvec (vector_of c))
     ~candidates ~query ~budget
 
-let hill_climb_curve oracle can ~query ~budget =
+let hill_climb_curve ?metrics ?labels ?trace oracle can ~query ~budget =
   if not (Can_overlay.mem can query) then
     invalid_arg "Search.hill_climb_curve: query not a member";
   if budget < 1 then invalid_arg "Search.hill_climb_curve: budget must be >= 1";
+  let obs = make_obs ?metrics ?labels ?trace ~algo:"hill_climb" () in
   (* Walk to the best neighbor while it improves; each neighbor probe
      costs one measurement.  Stops at local minima. *)
   let found = ref [] and dist = ref [] in
@@ -90,6 +115,7 @@ let hill_climb_curve oracle can ~query ~budget =
     if !spent < budget then begin
       incr spent;
       let d = Oracle.measure oracle query node in
+      observe_probe obs ~query node d;
       if d < !best_dist then begin
         best_dist := d;
         best_node := node

@@ -25,13 +25,29 @@ val true_nearest : Topology.Oracle.t -> query:int -> candidates:int array -> int
     [Invalid_argument] if there is no other candidate. *)
 
 val ers_curve :
-  Topology.Oracle.t -> Can.Overlay.t -> query:int -> budget:int -> curve
+  ?metrics:Engine.Metrics.t ->
+  ?labels:Engine.Metrics.labels ->
+  ?trace:Engine.Trace.t ->
+  Topology.Oracle.t ->
+  Can.Overlay.t ->
+  query:int ->
+  budget:int ->
+  curve
 (** Expanding-ring search over the CAN neighbor graph, starting at the
     query node (which must be a member): breadth-first rings, probing
     every ring member until the budget runs out.  Deterministic (rings
-    scanned in node-id order). *)
+    scanned in node-id order).
+
+    All curve functions take the same observability knobs: with
+    [metrics], each RTT measurement increments an [rtt_probes] counter
+    labeled [algo=<algorithm>] plus any extra [labels]; with [trace],
+    each measurement emits an [Rtt_probe] span (node = query, peer =
+    probed node, dur = measured RTT). *)
 
 val hybrid_curve :
+  ?metrics:Engine.Metrics.t ->
+  ?labels:Engine.Metrics.labels ->
+  ?trace:Engine.Trace.t ->
   Topology.Oracle.t ->
   vector_of:(int -> float array) ->
   candidates:int array ->
@@ -44,6 +60,10 @@ val hybrid_curve :
     baseline. *)
 
 val ranked_curve :
+  ?metrics:Engine.Metrics.t ->
+  ?labels:Engine.Metrics.labels ->
+  ?trace:Engine.Trace.t ->
+  ?algo:string ->
   Topology.Oracle.t ->
   score:(int -> float) ->
   candidates:int array ->
@@ -53,10 +73,19 @@ val ranked_curve :
 (** Generalised pre-selection: probe candidates in ascending [score]
     order.  {!hybrid_curve} is [ranked_curve] with the landmark-vector
     distance as score; the §5.5 optimisations (landmark groups,
-    hierarchical landmark spaces) plug in their own scores. *)
+    hierarchical landmark spaces) plug in their own scores.  [algo]
+    (default ["ranked"]) names the algorithm in the [rtt_probes] metric
+    label. *)
 
 val hill_climb_curve :
-  Topology.Oracle.t -> Can.Overlay.t -> query:int -> budget:int -> curve
+  ?metrics:Engine.Metrics.t ->
+  ?labels:Engine.Metrics.labels ->
+  ?trace:Engine.Trace.t ->
+  Topology.Oracle.t ->
+  Can.Overlay.t ->
+  query:int ->
+  budget:int ->
+  curve
 (** Hill climbing over overlay links (the "heuristic approach" of §1):
     probe the current node's CAN neighbors and move to the closest; stop
     at a local minimum even if budget remains — exhibiting exactly the

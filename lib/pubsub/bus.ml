@@ -24,6 +24,13 @@ type subscription = {
   mutable active : bool;
 }
 
+type obs = {
+  n_sent : Engine.Metrics.counter;
+  n_delivered : Engine.Metrics.counter;
+  n_dropped : Engine.Metrics.counter;
+  tracer : Engine.Trace.t option;
+}
+
 type t = {
   store : Store.t;
   sim : Sim.t option;
@@ -34,12 +41,24 @@ type t = {
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
+  obs : obs option;
 }
 
 let region_key bits = Array.fold_left (fun acc b -> (acc lsl 1) lor b) 1 bits
 
-let create ?sim ?(latency = fun ~host:_ ~subscriber:_ -> 0.0)
+let create ?metrics ?(labels = []) ?trace ?sim ?(latency = fun ~host:_ ~subscriber:_ -> 0.0)
     ?(channel = fun delay -> Some delay) store =
+  let obs =
+    Option.map
+      (fun m ->
+        {
+          n_sent = Engine.Metrics.counter m ~labels "notify_sent";
+          n_delivered = Engine.Metrics.counter m ~labels "notify_delivered";
+          n_dropped = Engine.Metrics.counter m ~labels "notify_dropped";
+          tracer = trace;
+        })
+      metrics
+  in
   {
     store;
     sim;
@@ -50,6 +69,7 @@ let create ?sim ?(latency = fun ~host:_ ~subscriber:_ -> 0.0)
     sent = 0;
     delivered = 0;
     dropped = 0;
+    obs;
   }
 
 let sent_count t = t.sent
@@ -106,18 +126,26 @@ let deliver t sub ~host event =
   let fire at =
     if sub.active then begin
       t.delivered <- t.delivered + 1;
+      (match t.obs with None -> () | Some o -> Engine.Metrics.incr o.n_delivered);
       sub.handler { subscriber = sub.subscriber; event; delivered_at = at }
     end
   in
   t.sent <- t.sent + 1;
+  (match t.obs with None -> () | Some o -> Engine.Metrics.incr o.n_sent);
   let base = Float.max 0.0 (t.latency ~host ~subscriber:sub.subscriber) in
   match t.channel base with
-  | None -> t.dropped <- t.dropped + 1
-  | Some total -> (
-    match t.sim with
+  | None ->
+    t.dropped <- t.dropped + 1;
+    (match t.obs with None -> () | Some o -> Engine.Metrics.incr o.n_dropped)
+  | Some total ->
+    let total = Float.max 0.0 total in
+    (match t.obs with
+    | Some { tracer = Some tr; _ } ->
+      Engine.Trace.emit tr ~dur:total ~peer:sub.subscriber Engine.Trace.Notify ~node:host
+    | Some { tracer = None; _ } | None -> ());
+    (match t.sim with
     | None -> fire 0.0
-    | Some sim ->
-      ignore (Sim.schedule sim ~delay:(Float.max 0.0 total) (fun () -> fire (Sim.now sim))))
+    | Some sim -> ignore (Sim.schedule sim ~delay:total (fun () -> fire (Sim.now sim))))
 
 let notify t ~region ~vector ~host event =
   match Hashtbl.find_opt t.subs (region_key region) with

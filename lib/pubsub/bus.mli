@@ -33,6 +33,9 @@ type subscription
 type t
 
 val create :
+  ?metrics:Engine.Metrics.t ->
+  ?labels:Engine.Metrics.labels ->
+  ?trace:Engine.Trace.t ->
   ?sim:Engine.Sim.t ->
   ?latency:(host:int -> subscriber:int -> float) ->
   ?channel:(float -> float option) ->
@@ -45,7 +48,13 @@ val create :
     [channel] models the delivery medium: it receives the base delay and
     returns the total delay, or [None] to drop the notification outright
     (fault injection — see {!Engine.Faults.perturb}).  Default: deliver
-    with the base delay. *)
+    with the base delay.
+
+    With [metrics], the bus maintains [notify_sent] / [notify_delivered]
+    / [notify_dropped] counters (plus any [labels]) mirroring
+    {!sent_count} / {!delivered_count} / {!dropped_count}.  With [trace],
+    every notification that survives the channel emits a [Notify] span
+    (node = map host, peer = subscriber, dur = delivery delay). *)
 
 val store : t -> Softstate.Store.t
 

@@ -21,6 +21,13 @@ type region_map = {
   by_host : (int, Entry.t list ref) Hashtbl.t;  (* overlay host -> entries *)
 }
 
+type obs = {
+  publishes : Engine.Metrics.counter;
+  refreshes : Engine.Metrics.counter;
+  expired : Engine.Metrics.counter;
+  tracer : Engine.Trace.t option;
+}
+
 type t = {
   can : Can_overlay.t;
   scheme : Number.scheme;
@@ -30,18 +37,34 @@ type t = {
   clock : unit -> float;
   maps : (int, region_map) Hashtbl.t;  (* region path key *)
   regions : (int, int array) Hashtbl.t;  (* region path key -> path bits *)
+  obs : obs option;
 }
 
 (* Same encoding as Can.Overlay: sentinel bit + path bits. *)
 let region_key bits =
   Array.fold_left (fun acc b -> (acc lsl 1) lor b) 1 bits
 
-let create ?(condense = 1.0) ?(base_fraction = 0.125) ?(default_ttl = 600_000.0)
-    ?(clock = fun () -> 0.0) ~scheme can =
+let region_name bits =
+  if Array.length bits = 0 then "root"
+  else String.concat "" (Array.to_list (Array.map string_of_int bits))
+
+let create ?metrics ?(labels = []) ?trace ?(condense = 1.0) ?(base_fraction = 0.125)
+    ?(default_ttl = 600_000.0) ?(clock = fun () -> 0.0) ~scheme can =
   if condense <= 0.0 then invalid_arg "Store.create: condense must be positive";
   if not (base_fraction > 0.0 && base_fraction <= 1.0) then
     invalid_arg "Store.create: base_fraction out of (0,1]";
   if default_ttl <= 0.0 then invalid_arg "Store.create: ttl must be positive";
+  let obs =
+    Option.map
+      (fun m ->
+        {
+          publishes = Engine.Metrics.counter m ~labels "store_publishes";
+          refreshes = Engine.Metrics.counter m ~labels "store_refreshes";
+          expired = Engine.Metrics.counter m ~labels "store_expired";
+          tracer = trace;
+        })
+      metrics
+  in
   {
     can;
     scheme;
@@ -51,6 +74,7 @@ let create ?(condense = 1.0) ?(base_fraction = 0.125) ?(default_ttl = 600_000.0)
     clock;
     maps = Hashtbl.create 256;
     regions = Hashtbl.create 256;
+    obs;
   }
 
 let can t = t.can
@@ -109,7 +133,17 @@ let publish t ~region ~node ~vector =
     }
   in
   Hashtbl.replace m.entries node entry;
-  host_add m (Can_overlay.owner_of t.can position) entry
+  let host = Can_overlay.owner_of t.can position in
+  host_add m host entry;
+  match t.obs with
+  | None -> ()
+  | Some o ->
+    Engine.Metrics.incr o.publishes;
+    Option.iter
+      (fun tr ->
+        Engine.Trace.emit tr ~peer:node ~note:(region_name region) Engine.Trace.Map_publish
+          ~node:host)
+      o.tracer
 
 let enclosing_regions ~span_bits path =
   let len = Array.length path in
@@ -148,7 +182,9 @@ let with_live_entry t ~region ~node f =
     | Some _ | None -> ())
 
 let refresh t ~region ~node =
-  with_live_entry t ~region ~node (fun e -> e.Entry.expires <- t.clock () +. t.default_ttl)
+  with_live_entry t ~region ~node (fun e ->
+      e.Entry.expires <- t.clock () +. t.default_ttl;
+      match t.obs with None -> () | Some o -> Engine.Metrics.incr o.refreshes)
 
 let update_stats t ~region ~node ~load ~capacity =
   with_live_entry t ~region ~node (fun e ->
@@ -285,11 +321,24 @@ let sweep_expired t =
         (fun _ e -> if not (live t e) then dead := (Hashtbl.find t.regions key, e, m) :: !dead)
         m.entries)
     t.maps;
-  List.rev_map
-    (fun (region, e, m) ->
-      remove_entry t m e;
-      (region, e))
-    !dead
+  let purged =
+    List.rev_map
+      (fun (region, e, m) ->
+        remove_entry t m e;
+        (region, e))
+      !dead
+  in
+  (match t.obs with
+  | None -> ()
+  | Some o ->
+    Engine.Metrics.add o.expired (List.length purged);
+    Option.iter
+      (fun tr ->
+        Engine.Trace.emit tr
+          ~note:(string_of_int (List.length purged) ^ " purged")
+          Engine.Trace.Ttl_sweep ~node:(-1))
+      o.tracer);
+  purged
 
 let expire_sweep t = List.length (sweep_expired t)
 

@@ -30,6 +30,9 @@ end
 type t
 
 val create :
+  ?metrics:Engine.Metrics.t ->
+  ?labels:Engine.Metrics.labels ->
+  ?trace:Engine.Trace.t ->
   ?condense:float ->
   ?base_fraction:float ->
   ?default_ttl:float ->
@@ -48,7 +51,13 @@ val create :
 
     [default_ttl] (default 600,000 ms = 10 min) is the soft-state
     lifetime; [clock] defaults to a frozen clock at 0 (pass
-    [fun () -> Sim.now sim] to run under the engine). *)
+    [fun () -> Sim.now sim] to run under the engine).
+
+    With [metrics], the store maintains [store_publishes] /
+    [store_refreshes] / [store_expired] counters (plus any [labels]).
+    With [trace], every {!publish} emits a [Map_publish] span (node = map
+    host, peer = described node, note = region path bits) and every
+    {!sweep_expired} emits a [Ttl_sweep] span noting the purge count. *)
 
 val can : t -> Can.Overlay.t
 val scheme : t -> Landmark.Number.scheme

@@ -207,10 +207,18 @@ let ecan_outcomes ?(size = 256) ?(seed = 11) ?(storm = Faults.default_storm)
   let config =
     { Builder.default_config with Builder.overlay_size = size; ttl; seed = seed * 1009 + 2 }
   in
-  let b = Builder.build ~clock:(fun () -> Sim.now sim) oracle config in
+  (* The whole eCAN stack reports into the global registry under an
+     [experiment=churn] label, so [bench --json] carries the storm's
+     route/publish/notify traffic alongside the table below. *)
+  let metrics = Engine.Metrics.global in
+  let labels = [ ("experiment", "churn") ] in
+  let b =
+    Builder.build ~metrics ~labels ~clock:(fun () -> Sim.now sim) oracle config
+  in
   let can = Ecan_exp.can b.Builder.ecan in
   let m =
-    Maintenance.start ~sim ~refresh_period ~sweep_period ~channel:(Faults.perturb faults) b
+    Maintenance.start ~sim ~metrics ~labels ~refresh_period ~sweep_period
+      ~channel:(Faults.perturb faults) b
   in
   Maintenance.subscribe_all_slots m;
   Maintenance.enable_liveness_polling m ~period:liveness_period
@@ -533,6 +541,21 @@ let run_custom ?(scale = 1) ?(seed = 11) ~storm ~channel ppf =
         (if o.converged then "yes" else "NO");
       ]
   in
+  let record o =
+    let labels = [ ("overlay", o.overlay) ] in
+    let g name v =
+      Engine.Metrics.set (Engine.Metrics.gauge Engine.Metrics.global ~labels name) v
+    in
+    g "churn_stretch_before" o.stretch_before;
+    g "churn_stretch_storm" o.stretch_storm;
+    g "churn_stretch_repaired" o.stretch_repaired;
+    g "churn_repair_ms" o.repair_ms;
+    g "churn_repair_work" (float_of_int o.repair_work);
+    g "churn_notifications" (float_of_int o.notifications);
+    g "churn_drops" (float_of_int o.drops);
+    g "churn_converged" (if o.converged then 1.0 else 0.0)
+  in
+  List.iter record [ ecan_o; can_o; chord_o; pastry_o ];
   List.iter row [ ecan_o; can_o; chord_o; pastry_o ];
   Tableout.render ppf table;
   Format.fprintf ppf

@@ -34,6 +34,14 @@ let fig16 ?(scale = 1) ppf =
       let stretch =
         (Measure.route_stretch ~pairs:measure_pairs b).Measure.stretch.Prelude.Stats.mean
       in
+      (* Headline numbers per reduction rate go to the global registry. *)
+      let labels = [ ("condense", Printf.sprintf "%.4f" condense) ] in
+      let g name v =
+        Engine.Metrics.set (Engine.Metrics.gauge Engine.Metrics.global ~labels name) v
+      in
+      g "condense_entries_per_host" hosting.Prelude.Stats.mean;
+      g "condense_hosting_nodes" (float_of_int hosting.Prelude.Stats.count);
+      g "condense_stretch" stretch;
       Tableout.add_row table
         [
           Printf.sprintf "%.2f" condense;

@@ -1,43 +1,58 @@
 module Can_overlay = Can.Overlay
 module Ecan_exp = Ecan.Expressway
+module Metrics = Engine.Metrics
 module Point = Geometry.Point
 module Rng = Prelude.Rng
 
 let lookups = 1000
 
-let build_can ~dims ~n ~seed =
+let build_can ?metrics ?labels ~dims ~n ~seed () =
   let rng = Rng.create seed in
-  let t = Can_overlay.create ~dims 0 in
+  let t = Can_overlay.create ?metrics ?labels ~dims 0 in
   for id = 1 to n - 1 do
     ignore (Can_overlay.join t id (Point.random rng dims))
   done;
   t
 
-let mean_hops route ~dims ~seed =
+let run_lookups route ~dims ~seed =
   let rng = Rng.create (seed + 1) in
-  let total = ref 0 in
   for _ = 1 to lookups do
     match route (Point.random rng dims) with
-    | Some hops -> total := !total + List.length hops - 1
+    | Some _ -> ()
     | None -> failwith "Exp_hops: routing failed"
-  done;
-  float_of_int !total /. float_of_int lookups
+  done
 
+(* Both variants record into the process-global registry: per-overlay
+   [route_hops] histograms keyed by size and fan-out, which is what
+   [bench --json] serializes.  The rendered table reads its means back
+   from the same histograms. *)
 let can_hops ~dims ~n ~seed =
-  let t = build_can ~dims ~n ~seed in
+  let labels = [ ("dims", string_of_int dims); ("nodes", string_of_int n) ] in
+  let t = build_can ~metrics:Metrics.global ~labels ~dims ~n ~seed () in
   let ids = Can_overlay.node_ids t in
   let rng = Rng.create (seed + 2) in
-  mean_hops (fun p -> Can_overlay.route t ~src:(Rng.pick rng ids) p) ~dims ~seed
+  run_lookups (fun p -> Can_overlay.route t ~src:(Rng.pick rng ids) p) ~dims ~seed;
+  let hist =
+    Metrics.histogram Metrics.global ~labels:(("overlay", "can") :: labels) "route_hops"
+  in
+  Metrics.hmean hist
 
 let ecan_hops ?(span_bits = 2) ~n ~seed () =
-  let t = build_can ~dims:2 ~n ~seed in
-  let e = Ecan_exp.create ~span_bits t in
+  let labels =
+    [ ("fan", string_of_int (1 lsl span_bits)); ("nodes", string_of_int n) ]
+  in
+  let t = build_can ~dims:2 ~n ~seed () in
+  let e = Ecan_exp.create ~metrics:Metrics.global ~labels ~span_bits t in
   let sel_rng = Rng.create (seed + 3) in
   Ecan_exp.build_tables e ~selector:(fun ~node:_ ~region:_ ~candidates ->
       Some (Rng.pick sel_rng candidates));
   let ids = Can_overlay.node_ids t in
   let rng = Rng.create (seed + 2) in
-  mean_hops (fun p -> Ecan_exp.route e ~src:(Rng.pick rng ids) p) ~dims:2 ~seed
+  run_lookups (fun p -> Ecan_exp.route e ~src:(Rng.pick rng ids) p) ~dims:2 ~seed;
+  let hist =
+    Metrics.histogram Metrics.global ~labels:(("overlay", "ecan") :: labels) "route_hops"
+  in
+  Metrics.hmean hist
 
 let run ?(scale = 1) ppf =
   let sizes =

@@ -47,13 +47,18 @@ let compute ?(scale = 1) variant =
     let all = Array.init n (fun i -> i) in
     let queries = Rng.sample rng (min query_count n) all in
     let ers_budget = min max_ers_budget (n - 1) in
+    (* Probe counts per algorithm go to the global registry ([rtt_probes]
+       labeled algo/variant) — the measurement cost the figures trade
+       against. *)
+    let metrics = Engine.Metrics.global in
+    let labels = [ ("variant", Ctx.variant_name variant) ] in
     let ers_curves = ref [] and hybrid_curves = ref [] in
     Array.iter
       (fun query ->
         let _, optimal = Search.true_nearest oracle ~query ~candidates:all in
-        let ers = Search.ers_curve oracle can ~query ~budget:ers_budget in
+        let ers = Search.ers_curve ~metrics ~labels oracle can ~query ~budget:ers_budget in
         let hybrid =
-          Search.hybrid_curve oracle
+          Search.hybrid_curve ~metrics ~labels oracle
             ~vector_of:(fun v -> vectors.(v))
             ~candidates:all ~query ~budget:max_hybrid_budget
         in

@@ -40,6 +40,21 @@ let figure ~title ~scale latency ppf =
         let random = mean_stretch b in
         Builder.rebuild_tables b (Strategy.hybrid ~rtts:rtt_budget ());
         let hybrid = mean_stretch b in
+        (* Per-configuration means go to the global registry. *)
+        let g strategy v =
+          Engine.Metrics.set
+            (Engine.Metrics.gauge Engine.Metrics.global
+               ~labels:
+                 [
+                   ("variant", Ctx.variant_name variant);
+                   ("nodes", string_of_int size);
+                   ("strategy", strategy);
+                 ]
+               "scale_stretch")
+            v
+        in
+        g "random" random;
+        g "hybrid" hybrid;
         (hybrid, random)
       in
       let large_hybrid, large_random = cells Ctx.Tsk_large in

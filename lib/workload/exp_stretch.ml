@@ -7,10 +7,21 @@ let rtt_budgets = [ 1; 2; 5; 10; 20; 40 ]
 let landmark_counts = [ 10; 20 ]
 let measure_pairs = 2048
 
-let mean_stretch builder =
-  (Measure.route_stretch ~pairs:measure_pairs builder).Measure.stretch.Prelude.Stats.mean
+(* Each measured configuration also lands its per-pair stretch samples in
+   the global registry ([route_stretch] histograms keyed by figure,
+   landmark count and RTT budget) so [bench --json] exports the full
+   distributions, not just the table's means. *)
+let mean_stretch ~labels builder =
+  let report = Measure.route_stretch ~pairs:measure_pairs builder in
+  let hist = Engine.Metrics.histogram Engine.Metrics.global ~labels "route_stretch" in
+  List.iter
+    (fun (s : Measure.sample) ->
+      if s.Measure.shortest > 0.0 then
+        Engine.Metrics.observe hist (s.Measure.latency /. s.Measure.shortest))
+    report.Measure.samples;
+  report.Measure.stretch.Prelude.Stats.mean
 
-let figure ~title ~scale variant latency ppf =
+let figure ~fig ~title ~scale variant latency ppf =
   let oracle = Ctx.oracle ~scale variant latency in
   let size = max 128 (overlay_size / scale) in
   (* One build per landmark count; strategies are swapped by rebuilding
@@ -18,14 +29,15 @@ let figure ~title ~scale variant latency ppf =
   let builders =
     List.map
       (fun landmark_count ->
-        Builder.build oracle
+        ( landmark_count,
+          Builder.build oracle
           {
             Builder.default_config with
             Builder.overlay_size = size;
             landmark_count;
             strategy = Strategy.Random_pick;
             seed = 42;
-          })
+          } ))
       landmark_counts
   in
   let columns =
@@ -34,16 +46,26 @@ let figure ~title ~scale variant latency ppf =
   in
   let table = Tableout.create ~title ~columns in
   (* The optimal curve is flat in the RTT budget. *)
-  let reference = List.hd builders in
+  let lm_ref, reference = List.hd builders in
   Builder.rebuild_tables reference Strategy.Optimal;
-  let optimal = mean_stretch reference in
+  let optimal =
+    mean_stretch reference
+      ~labels:[ ("fig", fig); ("landmarks", string_of_int lm_ref); ("rtts", "optimal") ]
+  in
   List.iter
     (fun rtts ->
       let cells =
         List.map
-          (fun b ->
+          (fun (landmark_count, b) ->
             Builder.rebuild_tables b (Strategy.hybrid ~rtts ());
-            Tableout.cell_f (mean_stretch b))
+            Tableout.cell_f
+              (mean_stretch b
+                 ~labels:
+                   [
+                     ("fig", fig);
+                     ("landmarks", string_of_int landmark_count);
+                     ("rtts", string_of_int rtts);
+                   ]))
           builders
       in
       Tableout.add_row table ((Tableout.cell_i rtts :: cells) @ [ Tableout.cell_f optimal ]))
@@ -51,28 +73,28 @@ let figure ~title ~scale variant latency ppf =
   Tableout.render ppf table
 
 let fig10 ?(scale = 1) ppf =
-  figure ~scale Ctx.Tsk_large Topology.Transit_stub.Gtitm_random ppf
+  figure ~fig:"fig10" ~scale Ctx.Tsk_large Topology.Transit_stub.Gtitm_random ppf
     ~title:
       (Printf.sprintf
          "Figure 10: routing stretch vs RTT budget (tsk-large, GT-ITM latencies, %d nodes)"
          (max 128 (overlay_size / scale)))
 
 let fig11 ?(scale = 1) ppf =
-  figure ~scale Ctx.Tsk_large Topology.Transit_stub.Manual ppf
+  figure ~fig:"fig11" ~scale Ctx.Tsk_large Topology.Transit_stub.Manual ppf
     ~title:
       (Printf.sprintf
          "Figure 11: routing stretch vs RTT budget (tsk-large, manual latencies, %d nodes)"
          (max 128 (overlay_size / scale)))
 
 let fig12 ?(scale = 1) ppf =
-  figure ~scale Ctx.Tsk_small Topology.Transit_stub.Gtitm_random ppf
+  figure ~fig:"fig12" ~scale Ctx.Tsk_small Topology.Transit_stub.Gtitm_random ppf
     ~title:
       (Printf.sprintf
          "Figure 12: routing stretch vs RTT budget (tsk-small, GT-ITM latencies, %d nodes)"
          (max 128 (overlay_size / scale)))
 
 let fig13 ?(scale = 1) ppf =
-  figure ~scale Ctx.Tsk_small Topology.Transit_stub.Manual ppf
+  figure ~fig:"fig13" ~scale Ctx.Tsk_small Topology.Transit_stub.Manual ppf
     ~title:
       (Printf.sprintf
          "Figure 13: routing stretch vs RTT budget (tsk-small, manual latencies, %d nodes)"

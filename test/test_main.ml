@@ -5,6 +5,7 @@ let () =
       ("geometry", Test_geometry.suite);
       ("topology", Test_topology.suite);
       ("engine", Test_engine.suite);
+      ("metrics", Test_metrics.suite);
       ("landmark", Test_landmark.suite);
       ("can", Test_can.suite);
       ("ecan", Test_ecan.suite);

@@ -1,0 +1,209 @@
+(* Tests for the observability layer: Engine.Metrics registry semantics,
+   deterministic JSON output, and the Engine.Trace ring buffer. *)
+
+module Metrics = Engine.Metrics
+module Trace = Engine.Trace
+module Json = Prelude.Json
+module Rng = Prelude.Rng
+
+(* ---- registry semantics ---- *)
+
+let test_interning () =
+  let m = Metrics.create () in
+  let c1 = Metrics.counter m ~labels:[ ("a", "1"); ("b", "2") ] "reqs" in
+  let c2 = Metrics.counter m ~labels:[ ("b", "2"); ("a", "1") ] "reqs" in
+  Metrics.incr c1;
+  Metrics.incr c2;
+  (* Label order is canonicalized: both handles are the same instrument. *)
+  Alcotest.(check int) "same instrument" 2 (Metrics.count c1);
+  Alcotest.(check int) "one registered" 1 (Metrics.size m);
+  let c3 = Metrics.counter m ~labels:[ ("a", "1") ] "reqs" in
+  Metrics.incr c3;
+  Alcotest.(check int) "different labels, different counter" 1 (Metrics.count c3);
+  Alcotest.(check int) "two registered" 2 (Metrics.size m)
+
+let test_kind_mismatch () =
+  let m = Metrics.create () in
+  ignore (Metrics.counter m "x");
+  Alcotest.(check bool) "re-registering as a gauge raises" true
+    (try
+       ignore (Metrics.gauge m "x");
+       false
+     with Invalid_argument _ -> true)
+
+let test_instruments () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "c" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  Alcotest.(check int) "counter" 5 (Metrics.count c);
+  let g = Metrics.gauge m "g" in
+  Alcotest.(check (float 0.0)) "gauge starts 0" 0.0 (Metrics.value g);
+  Metrics.set g 2.5;
+  Metrics.set g 1.5;
+  Alcotest.(check (float 0.0)) "gauge last write wins" 1.5 (Metrics.value g);
+  let h = Metrics.histogram m "h" in
+  List.iter (Metrics.observe h) [ 3.0; 1.0; 2.0 ];
+  Alcotest.(check int) "observations" 3 (Metrics.observations h);
+  Alcotest.(check (array (float 0.0))) "samples in order" [| 3.0; 1.0; 2.0 |]
+    (Metrics.samples h);
+  Alcotest.(check (float 1e-9)) "hmean" 2.0 (Metrics.hmean h);
+  Alcotest.(check (float 1e-9)) "median" 2.0 (Metrics.quantile h 50.0)
+
+let test_reset () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "c" in
+  Metrics.incr c;
+  Metrics.reset m;
+  Alcotest.(check int) "empty after reset" 0 (Metrics.size m);
+  (* Re-interning after reset starts fresh. *)
+  Alcotest.(check int) "fresh counter" 0 (Metrics.count (Metrics.counter m "c"))
+
+(* ---- determinism ---- *)
+
+(* A seeded workload recorded into two fresh registries must serialize to
+   the same bytes — the property [bench --json] regression baselines rely
+   on. *)
+let seeded_fill seed m =
+  let rng = Rng.create seed in
+  for i = 0 to 199 do
+    let labels = [ ("shard", string_of_int (i mod 3)) ] in
+    Metrics.incr (Metrics.counter m ~labels "events");
+    Metrics.set (Metrics.gauge m ~labels "level") (Rng.float rng 10.0);
+    Metrics.observe (Metrics.histogram m ~labels "lat") (Rng.float rng 100.0)
+  done
+
+let test_same_seed_identical_json () =
+  let m1 = Metrics.create () and m2 = Metrics.create () in
+  seeded_fill 77 m1;
+  seeded_fill 77 m2;
+  Alcotest.(check string) "byte-identical"
+    (Json.to_string (Metrics.to_json m1))
+    (Json.to_string (Metrics.to_json m2))
+
+let test_registration_order_irrelevant () =
+  (* Snapshot order is (name, labels), not registration order. *)
+  let m1 = Metrics.create () and m2 = Metrics.create () in
+  Metrics.incr (Metrics.counter m1 ~labels:[ ("k", "a") ] "n");
+  Metrics.incr (Metrics.counter m1 ~labels:[ ("k", "b") ] "n");
+  Metrics.incr (Metrics.counter m2 ~labels:[ ("k", "b") ] "n");
+  Metrics.incr (Metrics.counter m2 ~labels:[ ("k", "a") ] "n");
+  Alcotest.(check string) "same serialization"
+    (Json.to_string (Metrics.to_json m1))
+    (Json.to_string (Metrics.to_json m2))
+
+(* ---- JSON schema round-trip ---- *)
+
+let test_json_roundtrip () =
+  let m = Metrics.create () in
+  seeded_fill 13 m;
+  let s = Json.to_string (Metrics.to_json m) in
+  match Json.of_string s with
+  | Error e -> Alcotest.failf "registry JSON does not parse: %s" e
+  | Ok parsed ->
+    (* print (parse (print m)) = print m: the printer's floats survive the
+       decimal round trip. *)
+    Alcotest.(check string) "print/parse fixpoint" s (Json.to_string parsed);
+    (match Json.member "schema" parsed with
+    | Some (Json.String v) ->
+      Alcotest.(check string) "schema version" Metrics.schema_version v
+    | _ -> Alcotest.fail "missing schema field");
+    let section name =
+      match Option.bind (Json.member name parsed) Json.to_list_opt with
+      | Some l -> l
+      | None -> Alcotest.failf "missing %s section" name
+    in
+    Alcotest.(check int) "counters" 3 (List.length (section "counters"));
+    Alcotest.(check int) "gauges" 3 (List.length (section "gauges"));
+    Alcotest.(check int) "histograms" 3 (List.length (section "histograms"));
+    match section "histograms" with
+    | h :: _ ->
+      Alcotest.(check bool) "histogram has p99" true (Json.member "p99" h <> None)
+    | [] -> Alcotest.fail "no histograms"
+
+(* ---- quantile bounds (qcheck) ---- *)
+
+let qcheck_quantile_bounds =
+  QCheck.Test.make ~name:"histogram quantiles lie within [min, max] and are monotone"
+    ~count:300
+    QCheck.(pair (list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.0)) (0 -- 100))
+    (fun (xs, p) ->
+      let m = Metrics.create () in
+      let h = Metrics.histogram m "q" in
+      List.iter (Metrics.observe h) xs;
+      let lo = List.fold_left Float.min infinity xs in
+      let hi = List.fold_left Float.max neg_infinity xs in
+      let q = Metrics.quantile h (float_of_int p) in
+      let s = Metrics.summarize_histogram h in
+      q >= lo && q <= hi
+      && s.Metrics.p50 <= s.Metrics.p90
+      && s.Metrics.p90 <= s.Metrics.p95
+      && s.Metrics.p95 <= s.Metrics.p99
+      && s.Metrics.min <= s.Metrics.p50
+      && s.Metrics.p99 <= s.Metrics.max)
+
+(* ---- tracer ---- *)
+
+let test_trace_basic () =
+  let now = ref 0.0 in
+  let t = Trace.create ~clock:(fun () -> !now) () in
+  now := 5.0;
+  Trace.emit t Trace.Route_hop ~node:1 ~peer:2;
+  now := 9.0;
+  Trace.emit t ~dur:3.0 ~note:"x" Trace.Notify ~node:4;
+  Alcotest.(check int) "emitted" 2 (Trace.emitted t);
+  match Trace.spans t with
+  | [ a; b ] ->
+    Alcotest.(check (float 0.0)) "clock stamped" 5.0 a.Trace.at;
+    Alcotest.(check int) "peer" 2 a.Trace.peer;
+    Alcotest.(check int) "seq increments" 1 b.Trace.seq;
+    Alcotest.(check (float 0.0)) "dur" 3.0 b.Trace.dur;
+    Alcotest.(check string) "note" "x" b.Trace.note
+  | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l)
+
+let test_trace_wraparound () =
+  let t = Trace.create ~capacity:4 () in
+  for i = 0 to 9 do
+    Trace.emit t ~at:(float_of_int i) Trace.Ttl_sweep ~node:i
+  done;
+  Alcotest.(check int) "emitted" 10 (Trace.emitted t);
+  Alcotest.(check int) "length capped" 4 (Trace.length t);
+  Alcotest.(check int) "dropped" 6 (Trace.dropped t);
+  let nodes = List.map (fun s -> s.Trace.node) (Trace.spans t) in
+  (* Oldest spans were overwritten; the survivors are the last 4, in
+     emission order. *)
+  Alcotest.(check (list int)) "newest retained oldest-first" [ 6; 7; 8; 9 ] nodes;
+  let seqs = List.map (fun s -> s.Trace.seq) (Trace.spans t) in
+  Alcotest.(check (list int)) "seq never reused" [ 6; 7; 8; 9 ] seqs
+
+let test_trace_jsonl () =
+  let t = Trace.create () in
+  Trace.emit t ~at:1.5 ~dur:0.25 ~peer:7 ~note:"r" Trace.Rtt_probe ~node:3;
+  let lines = String.split_on_char '\n' (String.trim (Trace.to_jsonl t)) in
+  Alcotest.(check int) "one line per span" 1 (List.length lines);
+  match Json.of_string (List.hd lines) with
+  | Error e -> Alcotest.failf "span line does not parse: %s" e
+  | Ok j ->
+    let str k = Option.bind (Json.member k j) Json.to_string_opt in
+    let num k = Option.bind (Json.member k j) Json.to_float_opt in
+    Alcotest.(check (option string)) "name" (Some "rtt_probe") (str "name");
+    Alcotest.(check (option string)) "ph" (Some "X") (str "ph");
+    (* Chrome trace events use microseconds; sim time is milliseconds. *)
+    Alcotest.(check (option (float 1e-9))) "ts in us" (Some 1500.0) (num "ts");
+    Alcotest.(check (option (float 1e-9))) "dur in us" (Some 250.0) (num "dur");
+    Alcotest.(check (option (float 1e-9))) "tid is node" (Some 3.0) (num "tid")
+
+let suite =
+  [
+    Alcotest.test_case "interning canonicalizes labels" `Quick test_interning;
+    Alcotest.test_case "kind mismatch raises" `Quick test_kind_mismatch;
+    Alcotest.test_case "counter/gauge/histogram semantics" `Quick test_instruments;
+    Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "same seed, identical JSON" `Quick test_same_seed_identical_json;
+    Alcotest.test_case "registration order irrelevant" `Quick test_registration_order_irrelevant;
+    Alcotest.test_case "JSON schema round-trip" `Quick test_json_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_quantile_bounds;
+    Alcotest.test_case "trace basics" `Quick test_trace_basic;
+    Alcotest.test_case "trace ring wraparound" `Quick test_trace_wraparound;
+    Alcotest.test_case "trace JSONL is Chrome-trace shaped" `Quick test_trace_jsonl;
+  ]

@@ -126,6 +126,26 @@ let test_stats_percentile () =
   (* the input must not be mutated *)
   Alcotest.(check (array (float 0.0))) "input untouched" [| 5.0; 1.0; 3.0; 2.0; 4.0 |] xs
 
+let test_stats_percentile_edge_cases () =
+  (* Empty: the summarize convention, 0, not an index error. *)
+  Alcotest.(check (float 0.0)) "empty" 0.0 (Stats.percentile [||] 50.0);
+  Alcotest.(check (float 0.0)) "empty p0" 0.0 (Stats.percentile [||] 0.0);
+  Alcotest.(check (float 0.0)) "empty p100" 0.0 (Stats.percentile [||] 100.0);
+  (* Singleton: every percentile is the single value. *)
+  Alcotest.(check (float 0.0)) "singleton p0" 7.5 (Stats.percentile [| 7.5 |] 0.0);
+  Alcotest.(check (float 0.0)) "singleton p50" 7.5 (Stats.percentile [| 7.5 |] 50.0);
+  Alcotest.(check (float 0.0)) "singleton p100" 7.5 (Stats.percentile [| 7.5 |] 100.0);
+  (* Out-of-range p raises, including NaN (which evades < comparisons). *)
+  let rejects p =
+    Alcotest.check_raises
+      (Printf.sprintf "p=%f rejected" p)
+      (Invalid_argument "Stats.percentile: p out of [0,100]")
+      (fun () -> ignore (Stats.percentile [| 1.0; 2.0 |] p))
+  in
+  rejects (-0.001);
+  rejects 100.001;
+  rejects Float.nan
+
 let test_stats_summary () =
   let s = Stats.summarize (Array.init 101 (fun i -> float_of_int i)) in
   Alcotest.(check int) "count" 101 s.Stats.count;
@@ -200,6 +220,7 @@ let suite =
     Alcotest.test_case "rng exponential mean" `Quick test_rng_exponential;
     Alcotest.test_case "stats mean/var" `Quick test_stats_mean_var;
     Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "stats percentile edge cases" `Quick test_stats_percentile_edge_cases;
     Alcotest.test_case "stats summary" `Quick test_stats_summary;
     Alcotest.test_case "stats online = batch" `Quick test_stats_online_matches_batch;
     Alcotest.test_case "heap ordering" `Quick test_heap_ordering;
