@@ -1,0 +1,132 @@
+(* Regression gate for the bench metrics snapshot: diff a fresh
+   [bench --json] dump against the checked-in baseline.
+
+   Counters must match exactly — the whole simulation is deterministic
+   from its seeds, so any drift in an event count is a behaviour change,
+   not noise.  Gauges and histogram statistics are floats derived from
+   latency arithmetic and may legitimately move a little under compiler
+   or libm changes; they must agree within a relative tolerance.
+   Instruments present in one file but not the other fail the gate, so
+   adding, renaming or dropping an instrument forces a deliberate
+   baseline refresh rather than slipping through silently.
+
+   Usage: compare.exe BASELINE FRESH [--tolerance T]
+   Exit status: 0 match, 1 regression, 2 usage/parse error. *)
+
+module Json = Prelude.Json
+
+let usage () =
+  prerr_endline "usage: compare.exe BASELINE FRESH [--tolerance T]";
+  exit 2
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("bench-compare: " ^ s); exit 2) fmt
+
+let load path =
+  let ic = try open_in_bin path with Sys_error e -> fail "%s" e in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Json.of_string s with
+  | Ok j -> j
+  | Error e -> fail "%s: parse error: %s" path e
+
+(* Instrument identity: name + the (deterministically printed) labels. *)
+let key_of obj =
+  match (Json.member "name" obj, Json.member "labels" obj) with
+  | Some (Json.String n), Some l -> n ^ " " ^ Json.to_string l
+  | _ -> fail "instrument missing name/labels: %s" (Json.to_string obj)
+
+let section name j =
+  match Json.member name j with
+  | Some (Json.List l) -> List.map (fun o -> (key_of o, o)) l
+  | _ -> fail "snapshot has no %S section" name
+
+let int_field name obj =
+  match Option.map Json.to_int_opt (Json.member name obj) with
+  | Some (Some v) -> v
+  | _ -> fail "instrument missing int field %S: %s" name (Json.to_string obj)
+
+(* Non-finite floats print as [null]; read them back as nan so that
+   nan-vs-nan compares as unchanged. *)
+let float_field name obj =
+  match Json.member name obj with
+  | Some (Json.Float f) -> f
+  | Some (Json.Int i) -> float_of_int i
+  | Some Json.Null -> Float.nan
+  | _ -> fail "instrument missing float field %S: %s" name (Json.to_string obj)
+
+let close ~tol a b =
+  (Float.is_nan a && Float.is_nan b)
+  || a = b
+  || Float.abs (a -. b) <= tol *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let () =
+  let baseline = ref None and fresh = ref None and tol = ref 0.05 in
+  let rec parse = function
+    | [] -> ()
+    | "--tolerance" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some t when t >= 0.0 -> tol := t
+      | _ -> fail "--tolerance wants a non-negative float, got %S" v);
+      parse rest
+    | a :: rest when String.length a > 0 && a.[0] <> '-' ->
+      (if !baseline = None then baseline := Some a
+       else if !fresh = None then fresh := Some a
+       else usage ());
+      parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let base_path, fresh_path =
+    match (!baseline, !fresh) with Some b, Some f -> (b, f) | _ -> usage ()
+  in
+  let base = load base_path and cur = load fresh_path in
+  (match (Json.member "schema" base, Json.member "schema" cur) with
+  | Some (Json.String a), Some (Json.String b) when a = b -> ()
+  | Some (Json.String a), Some (Json.String b) ->
+    fail "schema mismatch: baseline %S vs fresh %S (regenerate the baseline)" a b
+  | _ -> fail "missing schema field");
+  let problems = ref [] in
+  let problem fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let compared = ref 0 in
+  let diff_section name fields =
+    let b = section name base and c = section name cur in
+    List.iter
+      (fun (k, bo) ->
+        match List.assoc_opt k c with
+        | None -> problem "%s %s: missing from fresh run" name k
+        | Some co ->
+          incr compared;
+          List.iter (fun check -> check k bo co) fields)
+      b;
+    List.iter
+      (fun (k, _) ->
+        if not (List.mem_assoc k b) then
+          problem "%s %s: not in baseline (new instrument? regenerate the baseline)" name k)
+      c
+  in
+  let exact_int section_name field k bo co =
+    let bv = int_field field bo and cv = int_field field co in
+    if bv <> cv then problem "%s %s: %s %d -> %d (exact match required)" section_name k field bv cv
+  in
+  let close_float section_name field k bo co =
+    let bv = float_field field bo and cv = float_field field co in
+    if not (close ~tol:!tol bv cv) then
+      problem "%s %s: %s %.6g -> %.6g (tolerance %.1f%%)" section_name k field bv cv
+        (100.0 *. !tol)
+  in
+  diff_section "counters" [ exact_int "counter" "value" ];
+  diff_section "gauges" [ close_float "gauge" "value" ];
+  diff_section "histograms"
+    (exact_int "histogram" "count"
+    :: List.map
+         (fun f -> close_float "histogram" f)
+         [ "mean"; "min"; "max"; "p50"; "p90"; "p95"; "p99" ]);
+  match !problems with
+  | [] ->
+    Printf.printf "bench-compare: OK — %d instruments match %s (tolerance %.1f%%)\n" !compared
+      base_path (100.0 *. !tol);
+    exit 0
+  | ps ->
+    List.iter prerr_endline (List.rev ps);
+    Printf.eprintf "bench-compare: %d regression(s) against %s\n" (List.length ps) base_path;
+    exit 1

@@ -241,9 +241,21 @@ let churn_cmd =
          & info [ "staleness" ] ~docv:"F"
              ~doc:"Fraction of soft-state entries aged to expiry per staleness burst.")
   in
-  let run verbose seed scale crashes leaves joins loss staleness =
+  let shards_arg =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Soft-state expiry shards (independently swept store partitions).")
+  in
+  let digest_arg =
+    Arg.(value & opt float 0.0
+         & info [ "digest-window" ] ~docv:"MS"
+             ~doc:"Notification digest window in virtual ms (0 disables batching).")
+  in
+  let run verbose seed scale crashes leaves joins loss staleness shards digest_window =
     if loss < 0.0 || loss > 1.0 then `Error (false, "--loss must be in [0,1]")
     else if staleness < 0.0 || staleness > 1.0 then `Error (false, "--staleness must be in [0,1]")
+    else if shards < 1 then `Error (false, "--shards must be >= 1")
+    else if digest_window < 0.0 then `Error (false, "--digest-window must be >= 0")
     else begin
       setup_logs verbose;
       let storm =
@@ -256,7 +268,7 @@ let churn_cmd =
         }
       in
       let channel = { Engine.Faults.loss; delay_min = 5.0; delay_max = 50.0 } in
-      Workload.Exp_churn.run_custom ~scale ~seed ~storm ~channel ppf;
+      Workload.Exp_churn.run_custom ~scale ~seed ~shards ~digest_window ~storm ~channel ppf;
       `Ok ()
     end
   in
@@ -268,7 +280,7 @@ let churn_cmd =
     Term.(
       ret
         (const run $ verbose_arg $ seed_arg $ scale_arg $ crashes_arg $ leaves_arg $ joins_arg
-        $ loss_arg $ stale_arg))
+        $ loss_arg $ stale_arg $ shards_arg $ digest_arg))
 
 (* ---- trace ---- *)
 

@@ -19,6 +19,7 @@ type config = {
   strategy : Strategy.t;
   condense : float;
   ttl : float;
+  shards : int;
   curve : Landmark.Number.curve;
   index_dims : int;
   seed : int;
@@ -33,6 +34,7 @@ let default_config =
     strategy = Strategy.hybrid ~rtts:10 ();
     condense = 1.0;
     ttl = 600_000.0;
+    shards = 1;
     curve = Number.Hilbert_curve;
     index_dims = 3;
     seed = 42;
@@ -120,8 +122,8 @@ let build ?metrics ?labels ?trace ?(clock = fun () -> 0.0) oracle config =
       Number.index_dims = min config.index_dims config.landmark_count }
   in
   let store =
-    Store.create ?metrics ?labels ?trace ~condense:config.condense ~default_ttl:config.ttl
-      ~clock ~scheme can
+    Store.create ?metrics ?labels ?trace ~shards:config.shards ~condense:config.condense
+      ~default_ttl:config.ttl ~clock ~scheme can
   in
   let vectors = Hashtbl.create (Array.length members) in
   Array.iter

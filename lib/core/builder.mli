@@ -14,6 +14,7 @@ type config = {
   strategy : Strategy.t;
   condense : float;  (** map condense/reduction rate *)
   ttl : float;  (** soft-state entry lifetime, ms *)
+  shards : int;  (** soft-state expiry shards (see {!Softstate.Store.create}) *)
   curve : Landmark.Number.curve;  (** space-filling curve for landmark numbers *)
   index_dims : int;  (** landmark-vector-index components *)
   seed : int;
@@ -21,7 +22,7 @@ type config = {
 
 val default_config : config
 (** Table 2 defaults: 2-d eCAN, span 2, 4096 members, 15 landmarks,
-    [Hybrid {rtts = 10}], condense 1.0, ttl 600,000 ms, Hilbert,
+    [Hybrid {rtts = 10}], condense 1.0, ttl 600,000 ms, 1 shard, Hilbert,
     index_dims 3, seed 42. *)
 
 type t = {

@@ -70,11 +70,11 @@ let refresh_all t =
     (Can_overlay.node_ids can)
 
 let start ~sim ?metrics ?labels ?trace ?(refresh_period = 200_000.0)
-    ?(sweep_period = 100_000.0) ?channel builder =
+    ?(sweep_period = 100_000.0) ?channel ?digest_window builder =
   let bus =
     Bus.create ?metrics ?labels ?trace ~sim
       ~latency:(fun ~host ~subscriber -> overlay_latency builder ~host ~subscriber)
-      ?channel builder.Builder.store
+      ?channel ?digest_window builder.Builder.store
   in
   let counters =
     Option.map
@@ -105,9 +105,21 @@ let start ~sim ?metrics ?labels ?trace ?(refresh_period = 200_000.0)
   (* Sweeping through the bus turns TTL expiry into departure
      notifications, so watchers of a crashed (never-retracted) node's
      entries eventually learn of its demise even without liveness
-     polling. *)
-  let sweep_timer = Sim.every sim ~period:sweep_period (fun () -> ignore (Bus.expire_sweep bus)) in
-  t.timers <- [ refresh_timer; sweep_timer ];
+     polling.  Each store shard gets its own periodic sweep, staggered
+     across the period so no single event touches the whole store; with
+     one shard this degenerates to the single sweep-every-period timer. *)
+  let nshards = Store.shard_count builder.Builder.store in
+  let sweep_timers =
+    List.init nshards (fun i ->
+        let offset = sweep_period *. float_of_int (i + 1) /. float_of_int nshards in
+        Sim.schedule sim ~delay:offset (fun () ->
+            ignore (Bus.expire_sweep_shard bus i);
+            let tm =
+              Sim.every sim ~period:sweep_period (fun () -> ignore (Bus.expire_sweep_shard bus i))
+            in
+            t.timers <- tm :: t.timers))
+  in
+  t.timers <- refresh_timer :: sweep_timers;
   t
 
 let bus t = t.bus

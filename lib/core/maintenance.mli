@@ -17,14 +17,20 @@ val start :
   ?refresh_period:float ->
   ?sweep_period:float ->
   ?channel:(float -> float option) ->
+  ?digest_window:float ->
   Builder.t ->
   t
 (** Begin periodic refresh (default every 200,000 ms, well inside the
     default 600,000 ms TTL) and expiry sweeps (default every 100,000 ms).
     Sweeps run through the bus, so TTL expiry of a never-retracted entry
-    (a crashed node) notifies its [Departure_of] watchers.  [channel] is
-    passed to {!Pubsub.Bus.create} — wire {!Engine.Faults.perturb} here to
-    subject notification delivery to loss and extra delay.  The builder
+    (a crashed node) notifies its [Departure_of] watchers.  When the
+    builder's store is sharded ([config.shards] > 1), each shard gets its
+    own sweep timer, staggered evenly across the sweep period, so one
+    sweep event never walks the whole store.  [channel] and
+    [digest_window] are passed to {!Pubsub.Bus.create} — wire
+    {!Engine.Faults.perturb} into [channel] to subject notification
+    delivery to loss and extra delay; a positive [digest_window] batches
+    per-(subscriber, region) notifications into digests.  The builder
     must have been constructed with [~clock] reading this simulation's
     time for expiry to be meaningful.
 

@@ -69,6 +69,14 @@ let is_neighbor a b =
   done;
   !abuts = 1 && !overlaps = dims a - 1
 
+let intersects a b =
+  if dims a <> dims b then invalid_arg "Zone.intersects: dimension mismatch";
+  let ok = ref true in
+  for i = 0 to dims a - 1 do
+    if not (a.lo.(i) < b.hi.(i) && b.lo.(i) < a.hi.(i)) then ok := false
+  done;
+  !ok
+
 let min_torus_dist z p =
   if Array.length p <> dims z then invalid_arg "Zone.min_torus_dist: dimension mismatch";
   let acc = ref 0.0 in

@@ -43,6 +43,11 @@ val is_neighbor : t -> t -> bool
     and their projections overlap (with positive length, or are both
     degenerate-equal) in every other dimension. *)
 
+val intersects : t -> t -> bool
+(** Positive-volume overlap of two boxes (half-open semantics: zones that
+    merely abut do not intersect).  Both zones are dyadic sub-boxes of the
+    unit space, so no torus wrap-around is involved. *)
+
 val min_torus_dist : t -> Point.t -> float
 (** Distance from a point to the closest point of the zone on the torus
     (0 when inside).  Used by greedy CAN routing. *)

@@ -60,6 +60,11 @@ let pop h =
 
 let peek h = if h.size = 0 then None else Some (h.data.(0).prio, h.data.(0).value)
 
+let iter f h =
+  for i = 0 to h.size - 1 do
+    f h.data.(i).prio h.data.(i).value
+  done
+
 let clear h =
   h.data <- [||];
   h.size <- 0

@@ -21,5 +21,9 @@ val pop : 'a t -> (float * 'a) option
 val peek : 'a t -> (float * 'a) option
 (** Minimum-priority entry without removing it.  O(1). *)
 
+val iter : (float -> 'a -> unit) -> 'a t -> unit
+(** Visit every entry in unspecified (array) order.  O(n); for audits and
+    invariant checks, not for ordered traversal. *)
+
 val clear : 'a t -> unit
 (** Drop all entries. *)

@@ -24,10 +24,19 @@ type subscription = {
   mutable active : bool;
 }
 
+(* One notification waiting inside a digest: the event, the matched
+   subscription, and the channel-assigned delivery delay it would have had
+   on its own (kept for the trace). *)
+type item = { it_event : event; it_sub : subscription; it_delay : float }
+
+type batch = { mutable items : item list (* newest first *) }
+
 type obs = {
   n_sent : Engine.Metrics.counter;
   n_delivered : Engine.Metrics.counter;
   n_dropped : Engine.Metrics.counter;
+  n_batched : Engine.Metrics.counter;
+  digest_size : Engine.Metrics.histogram;
   tracer : Engine.Trace.t option;
 }
 
@@ -36,18 +45,22 @@ type t = {
   sim : Sim.t option;
   latency : host:int -> subscriber:int -> float;
   channel : float -> float option;
+  digest_window : float;
   subs : (int, subscription list ref) Hashtbl.t;  (* region key -> subscriptions *)
+  pending : (int * int, batch) Hashtbl.t;  (* (subscriber, region key) -> open digest *)
   mutable next_id : int;
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
+  mutable batched : int;
   obs : obs option;
 }
 
 let region_key bits = Array.fold_left (fun acc b -> (acc lsl 1) lor b) 1 bits
 
 let create ?metrics ?(labels = []) ?trace ?sim ?(latency = fun ~host:_ ~subscriber:_ -> 0.0)
-    ?(channel = fun delay -> Some delay) store =
+    ?(channel = fun delay -> Some delay) ?(digest_window = 0.0) store =
+  if digest_window < 0.0 then invalid_arg "Bus.create: digest_window must be >= 0";
   let obs =
     Option.map
       (fun m ->
@@ -55,6 +68,8 @@ let create ?metrics ?(labels = []) ?trace ?sim ?(latency = fun ~host:_ ~subscrib
           n_sent = Engine.Metrics.counter m ~labels "notify_sent";
           n_delivered = Engine.Metrics.counter m ~labels "notify_delivered";
           n_dropped = Engine.Metrics.counter m ~labels "notify_dropped";
+          n_batched = Engine.Metrics.counter m ~labels "notify_batched";
+          digest_size = Engine.Metrics.histogram m ~labels "notify_digest_size";
           tracer = trace;
         })
       metrics
@@ -64,17 +79,22 @@ let create ?metrics ?(labels = []) ?trace ?sim ?(latency = fun ~host:_ ~subscrib
     sim;
     latency;
     channel;
+    digest_window;
     subs = Hashtbl.create 64;
+    pending = Hashtbl.create 64;
     next_id = 0;
     sent = 0;
     delivered = 0;
     dropped = 0;
+    batched = 0;
     obs;
   }
 
 let sent_count t = t.sent
 let delivered_count t = t.delivered
 let dropped_count t = t.dropped
+let batched_count t = t.batched
+let digest_window t = t.digest_window
 
 let store t = t.store
 
@@ -122,7 +142,10 @@ let matches sub ~vector event =
   | Departure_of watched, Entry_departed { entry_node; _ } -> watched = entry_node
   | (Any_new_entry | Closer_than _ | Load_above _ | Departure_of _), _ -> false
 
-let deliver t sub ~host event =
+(* The seed delivery path: one scheduled engine event per notification.
+   Used whenever the digest window is zero (the default) or there is no
+   simulation to batch within. *)
+let deliver_immediate t sub ~host event =
   let fire at =
     if sub.active then begin
       t.delivered <- t.delivered + 1;
@@ -146,6 +169,64 @@ let deliver t sub ~host event =
     (match t.sim with
     | None -> fire 0.0
     | Some sim -> ignore (Sim.schedule sim ~delay:total (fun () -> fire (Sim.now sim))))
+
+let flush_digest t sim ~subscriber ~key =
+  match Hashtbl.find_opt t.pending (subscriber, key) with
+  | None -> ()
+  | Some batch ->
+    Hashtbl.remove t.pending (subscriber, key);
+    let items = List.rev batch.items in
+    t.batched <- t.batched + 1;
+    (match t.obs with
+    | None -> ()
+    | Some o ->
+      Engine.Metrics.incr o.n_batched;
+      Engine.Metrics.observe o.digest_size (float_of_int (List.length items)));
+    let now = Sim.now sim in
+    List.iter
+      (fun it ->
+        if it.it_sub.active then begin
+          t.delivered <- t.delivered + 1;
+          (match t.obs with None -> () | Some o -> Engine.Metrics.incr o.n_delivered);
+          it.it_sub.handler { subscriber; event = it.it_event; delivered_at = now }
+        end)
+      items
+
+(* Digest path: coalesce every notification for the same (subscriber,
+   region) that arrives within [digest_window] virtual milliseconds into
+   ONE scheduled engine event.  The channel is still consulted per
+   notification (so loss statistics are unchanged); the digest travels as
+   a single message whose delivery delay is the opening notification's
+   channel delay plus the window. *)
+let deliver_digest t sim sub ~host event =
+  t.sent <- t.sent + 1;
+  (match t.obs with None -> () | Some o -> Engine.Metrics.incr o.n_sent);
+  let base = Float.max 0.0 (t.latency ~host ~subscriber:sub.subscriber) in
+  match t.channel base with
+  | None ->
+    t.dropped <- t.dropped + 1;
+    (match t.obs with None -> () | Some o -> Engine.Metrics.incr o.n_dropped)
+  | Some total ->
+    let total = Float.max 0.0 total in
+    let key = region_key sub.region in
+    let bkey = (sub.subscriber, key) in
+    (match Hashtbl.find_opt t.pending bkey with
+    | Some batch -> batch.items <- { it_event = event; it_sub = sub; it_delay = total } :: batch.items
+    | None ->
+      Hashtbl.replace t.pending bkey
+        { items = [ { it_event = event; it_sub = sub; it_delay = total } ] };
+      let delay = total +. t.digest_window in
+      (match t.obs with
+      | Some { tracer = Some tr; _ } ->
+        Engine.Trace.emit tr ~dur:delay ~peer:sub.subscriber Engine.Trace.Notify ~node:host
+      | Some { tracer = None; _ } | None -> ());
+      ignore
+        (Sim.schedule sim ~delay (fun () -> flush_digest t sim ~subscriber:sub.subscriber ~key)))
+
+let deliver t sub ~host event =
+  match t.sim with
+  | Some sim when t.digest_window > 0.0 -> deliver_digest t sim sub ~host event
+  | Some _ | None -> deliver_immediate t sub ~host event
 
 let notify t ~region ~vector ~host event =
   match Hashtbl.find_opt t.subs (region_key region) with
@@ -186,14 +267,22 @@ let update_load t ~region ~node ~load ~capacity =
     let host = host_for t ~region ~vector:e.Store.Entry.vector in
     notify t ~region ~vector:None ~host (Load_changed { region; entry_node = node; load })
 
-let expire_sweep t =
-  let dead = Store.sweep_expired t.store in
+let notify_departures t dead =
   List.iter
     (fun (region, (e : Store.Entry.t)) ->
       let host = host_for t ~region ~vector:e.Store.Entry.vector in
       notify t ~region ~vector:(Some e.Store.Entry.vector) ~host
         (Entry_departed { region; entry_node = e.Store.Entry.node }))
-    dead;
+    dead
+
+let expire_sweep t =
+  let dead = Store.sweep_expired t.store in
+  notify_departures t dead;
+  List.length dead
+
+let expire_sweep_shard t i =
+  let dead = Store.sweep_shard t.store i in
+  notify_departures t dead;
   List.length dead
 
 let depart t ~node =

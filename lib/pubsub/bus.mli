@@ -39,6 +39,7 @@ val create :
   ?sim:Engine.Sim.t ->
   ?latency:(host:int -> subscriber:int -> float) ->
   ?channel:(float -> float option) ->
+  ?digest_window:float ->
   Softstate.Store.t ->
   t
 (** Wrap a store.  Without [sim], notifications are delivered
@@ -50,11 +51,26 @@ val create :
     (fault injection — see {!Engine.Faults.perturb}).  Default: deliver
     with the base delay.
 
+    [digest_window] (default 0, must be >= 0) batches notification
+    delivery: with a positive window and a [sim], every notification for
+    the same (subscriber, region) arriving within the window is coalesced
+    into a single scheduled engine event — a {e digest} — delivered
+    [opening notification's channel delay + window] after the digest
+    opens, with the digest's items handed to their handlers in arrival
+    order.  The channel is still consulted per notification, so drop
+    statistics are unchanged; a dropped notification simply never enters
+    a digest.  At window 0 (or without a [sim]) the bus behaves exactly
+    like the un-batched path: one scheduled event per notification, same
+    delivery multiset and order.
+
     With [metrics], the bus maintains [notify_sent] / [notify_delivered]
     / [notify_dropped] counters (plus any [labels]) mirroring
-    {!sent_count} / {!delivered_count} / {!dropped_count}.  With [trace],
-    every notification that survives the channel emits a [Notify] span
-    (node = map host, peer = subscriber, dur = delivery delay). *)
+    {!sent_count} / {!delivered_count} / {!dropped_count}, a
+    [notify_batched] counter (digests flushed, = scheduled delivery
+    events on the digest path) and a [notify_digest_size] histogram
+    (notifications per digest).  With [trace], every notification (or
+    digest) that survives the channel emits a [Notify] span (node = map
+    host, peer = subscriber, dur = delivery delay). *)
 
 val store : t -> Softstate.Store.t
 
@@ -67,6 +83,14 @@ val delivered_count : t -> int
 
 val dropped_count : t -> int
 (** Notifications the channel decided to drop. *)
+
+val batched_count : t -> int
+(** Digests flushed so far — the number of scheduled delivery events the
+    digest path used where the un-batched path would have scheduled one
+    per notification.  Always 0 at digest window 0. *)
+
+val digest_window : t -> float
+(** The virtual-time coalescing window this bus was created with. *)
 
 val subscribe :
   t ->
@@ -97,3 +121,9 @@ val expire_sweep : t -> int
     ({!Softstate.Store.sweep_expired}) and notify each region's
     [Departure_of] watchers — how crashed nodes whose state was never
     retracted are eventually noticed.  Returns the purge count. *)
+
+val expire_sweep_shard : t -> int -> int
+(** Like {!expire_sweep} but sweeps a single store shard
+    ({!Softstate.Store.sweep_shard}) — the per-shard unit of maintenance
+    work, so independently-scheduled shard sweeps still turn expiry into
+    departure notifications. *)

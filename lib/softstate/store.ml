@@ -2,6 +2,7 @@ module Zone = Geometry.Zone
 module Can_overlay = Can.Overlay
 module Number = Landmark.Number
 module Landmarks = Landmark.Landmarks
+module Heap = Prelude.Heap
 
 module Entry = struct
   type t = {
@@ -17,14 +18,25 @@ end
 
 type region_map = {
   box : Zone.t;
+  shard : int;  (* owning shard index, fixed by the region key *)
   entries : (int, Entry.t) Hashtbl.t;  (* by described node *)
   by_host : (int, Entry.t list ref) Hashtbl.t;  (* overlay host -> entries *)
 }
+
+(* An expiry-heap record.  Records are never removed eagerly: a refresh,
+   re-publish or retraction leaves the old record in the heap and it is
+   recognised as stale when popped (the map no longer holds that exact
+   entry, or the entry's current [expires] stamp moved past the record's
+   priority). *)
+type hrec = { hr_key : int; hr_entry : Entry.t }
+
+type shard = { expiry : hrec Heap.t }
 
 type obs = {
   publishes : Engine.Metrics.counter;
   refreshes : Engine.Metrics.counter;
   expired : Engine.Metrics.counter;
+  sweep_visited : Engine.Metrics.counter;
   tracer : Engine.Trace.t option;
 }
 
@@ -37,6 +49,10 @@ type t = {
   clock : unit -> float;
   maps : (int, region_map) Hashtbl.t;  (* region path key *)
   regions : (int, int array) Hashtbl.t;  (* region path key -> path bits *)
+  shards : shard array;
+  node_index : (int, (int, Entry.t) Hashtbl.t) Hashtbl.t;
+      (* described node -> region key -> entry; reverse index so the
+         per-node operations avoid scanning every map *)
   obs : obs option;
 }
 
@@ -48,8 +64,14 @@ let region_name bits =
   if Array.length bits = 0 then "root"
   else String.concat "" (Array.to_list (Array.map string_of_int bits))
 
-let create ?metrics ?(labels = []) ?trace ?(condense = 1.0) ?(base_fraction = 0.125)
-    ?(default_ttl = 600_000.0) ?(clock = fun () -> 0.0) ~scheme can =
+(* The key is the sentinel-prefixed region path, so taking it mod the
+   shard count spreads regions by their prefix bits; sibling regions land
+   on different shards and each shard's heap is swept independently. *)
+let shard_of_key t key = key mod Array.length t.shards
+
+let create ?metrics ?(labels = []) ?trace ?(shards = 1) ?(condense = 1.0)
+    ?(base_fraction = 0.125) ?(default_ttl = 600_000.0) ?(clock = fun () -> 0.0) ~scheme can =
+  if shards < 1 then invalid_arg "Store.create: shards must be >= 1";
   if condense <= 0.0 then invalid_arg "Store.create: condense must be positive";
   if not (base_fraction > 0.0 && base_fraction <= 1.0) then
     invalid_arg "Store.create: base_fraction out of (0,1]";
@@ -61,6 +83,7 @@ let create ?metrics ?(labels = []) ?trace ?(condense = 1.0) ?(base_fraction = 0.
           publishes = Engine.Metrics.counter m ~labels "store_publishes";
           refreshes = Engine.Metrics.counter m ~labels "store_refreshes";
           expired = Engine.Metrics.counter m ~labels "store_expired";
+          sweep_visited = Engine.Metrics.counter m ~labels "store_sweep_visited";
           tracer = trace;
         })
       metrics
@@ -74,12 +97,16 @@ let create ?metrics ?(labels = []) ?trace ?(condense = 1.0) ?(base_fraction = 0.
     clock;
     maps = Hashtbl.create 256;
     regions = Hashtbl.create 256;
+    shards = Array.init shards (fun _ -> { expiry = Heap.create () });
+    node_index = Hashtbl.create 256;
     obs;
   }
 
 let can t = t.can
 let scheme t = t.scheme
 let condense t = t.condense
+let shard_count t = Array.length t.shards
+let shard_of_region t region = shard_of_key t (region_key region)
 
 let map_fraction t = Float.min 1.0 (t.condense *. t.base_fraction)
 
@@ -92,12 +119,22 @@ let map_for t region =
   match Hashtbl.find_opt t.maps key with
   | Some m -> m
   | None ->
-    let m = { box = map_box t region; entries = Hashtbl.create 16; by_host = Hashtbl.create 16 } in
+    let m =
+      {
+        box = map_box t region;
+        shard = shard_of_key t key;
+        entries = Hashtbl.create 16;
+        by_host = Hashtbl.create 16;
+      }
+    in
     Hashtbl.replace t.maps key m;
     Hashtbl.replace t.regions key (Array.copy region);
     m
 
 let live t (e : Entry.t) = e.Entry.expires > t.clock ()
+
+let schedule_expiry t ~key m (e : Entry.t) =
+  Heap.push t.shards.(m.shard).expiry e.Entry.expires { hr_key = key; hr_entry = e }
 
 let host_add m host entry =
   match Hashtbl.find_opt m.by_host host with
@@ -111,15 +148,38 @@ let host_remove m host (entry : Entry.t) =
     if !l = [] then Hashtbl.remove m.by_host host
   | None -> ()
 
-let remove_entry t m (entry : Entry.t) =
+let index_add t node ~key entry =
+  match Hashtbl.find_opt t.node_index node with
+  | Some inner -> Hashtbl.replace inner key entry
+  | None ->
+    let inner = Hashtbl.create 8 in
+    Hashtbl.replace inner key entry;
+    Hashtbl.replace t.node_index node inner
+
+let index_remove t node ~key =
+  match Hashtbl.find_opt t.node_index node with
+  | Some inner ->
+    Hashtbl.remove inner key;
+    if Hashtbl.length inner = 0 then Hashtbl.remove t.node_index node
+  | None -> ()
+
+let remove_entry t ~key m (entry : Entry.t) =
   Hashtbl.remove m.entries entry.Entry.node;
-  host_remove m (Can_overlay.owner_of t.can entry.Entry.position) entry
+  host_remove m (Can_overlay.owner_of t.can entry.Entry.position) entry;
+  index_remove t entry.Entry.node ~key
 
 let publish t ~region ~node ~vector =
+  let key = region_key region in
   let m = map_for t region in
-  (match Hashtbl.find_opt m.entries node with
-  | Some old -> remove_entry t m old
-  | None -> ());
+  (* A re-publish is a refresh-by-replacement: the piggybacked load
+     statistics survive the new entry. *)
+  let old_load, old_capacity =
+    match Hashtbl.find_opt m.entries node with
+    | Some old ->
+      remove_entry t ~key m old;
+      (old.Entry.load, old.Entry.capacity)
+    | None -> (0.0, 1.0)
+  in
   let position = Number.position_in_zone t.scheme m.box vector in
   let entry =
     {
@@ -128,13 +188,15 @@ let publish t ~region ~node ~vector =
       number = Number.number t.scheme vector;
       position;
       expires = t.clock () +. t.default_ttl;
-      load = 0.0;
-      capacity = 1.0;
+      load = old_load;
+      capacity = old_capacity;
     }
   in
   Hashtbl.replace m.entries node entry;
   let host = Can_overlay.owner_of t.can position in
   host_add m host entry;
+  index_add t node ~key entry;
+  schedule_expiry t ~key m entry;
   match t.obs with
   | None -> ()
   | Some o ->
@@ -158,20 +220,25 @@ let publish_all t ~span_bits ~node ~vector =
   List.iter (fun region -> publish t ~region ~node ~vector) (enclosing_regions ~span_bits path)
 
 let unpublish t ~region ~node =
-  match Hashtbl.find_opt t.maps (region_key region) with
+  let key = region_key region in
+  match Hashtbl.find_opt t.maps key with
   | None -> ()
   | Some m ->
     (match Hashtbl.find_opt m.entries node with
-    | Some e -> remove_entry t m e
+    | Some e -> remove_entry t ~key m e
     | None -> ())
 
 let unpublish_everywhere t node =
-  Hashtbl.iter
-    (fun _ m ->
-      match Hashtbl.find_opt m.entries node with
-      | Some e -> remove_entry t m e
-      | None -> ())
-    t.maps
+  match Hashtbl.find_opt t.node_index node with
+  | None -> ()
+  | Some inner ->
+    let keyed = Hashtbl.fold (fun key e acc -> (key, e) :: acc) inner [] in
+    List.iter
+      (fun (key, e) ->
+        match Hashtbl.find_opt t.maps key with
+        | Some m -> remove_entry t ~key m e
+        | None -> ())
+      keyed
 
 let with_live_entry t ~region ~node f =
   match Hashtbl.find_opt t.maps (region_key region) with
@@ -184,6 +251,10 @@ let with_live_entry t ~region ~node f =
 let refresh t ~region ~node =
   with_live_entry t ~region ~node (fun e ->
       e.Entry.expires <- t.clock () +. t.default_ttl;
+      (* Lazy heap discipline: push a record at the new stamp; the record
+         from the previous stamp pops as stale. *)
+      let key = region_key region in
+      schedule_expiry t ~key (Hashtbl.find t.maps key) e;
       match t.obs with None -> () | Some o -> Engine.Metrics.incr o.refreshes)
 
 let update_stats t ~region ~node ~load ~capacity =
@@ -245,7 +316,7 @@ let lookup t ~region ~vector ?(max_results = 16) ?(ttl = 2) () =
     in
     visit start;
     (* Table 1's "define a TTL to search outside": widen ring by ring over
-       CAN neighbors that still intersect the map box. *)
+       CAN neighbors whose zones still intersect the map box. *)
     let frontier = ref [ start ] in
     let hops = ref 0 in
     while !count < max_results && !hops < ttl && !frontier <> [] do
@@ -256,8 +327,7 @@ let lookup t ~region ~vector ?(max_results = 16) ?(ttl = 2) () =
             List.filter
               (fun nid ->
                 (not (Hashtbl.mem seen_hosts nid))
-                && Zone.min_torus_dist m.box (Zone.center (Can_overlay.node t.can nid).Can_overlay.zone)
-                   = 0.0)
+                && Zone.intersects m.box (Can_overlay.node t.can nid).Can_overlay.zone)
               (Can_overlay.node t.can h).Can_overlay.neighbors)
           !frontier
       in
@@ -274,20 +344,18 @@ let region_entries t region =
   | Some m -> Hashtbl.fold (fun _ e acc -> if live t e then e :: acc else acc) m.entries []
 
 let regions_of t node =
-  Hashtbl.fold
-    (fun key m acc ->
-      match Hashtbl.find_opt m.entries node with
-      | Some e when live t e -> Hashtbl.find t.regions key :: acc
-      | Some _ | None -> acc)
-    t.maps []
+  match Hashtbl.find_opt t.node_index node with
+  | None -> []
+  | Some inner ->
+    Hashtbl.fold
+      (fun key e acc -> if live t e then Hashtbl.find t.regions key :: acc else acc)
+      inner []
 
 let described_nodes t =
-  let seen = Hashtbl.create 64 in
-  Hashtbl.iter
-    (fun _ m ->
-      Hashtbl.iter (fun node e -> if live t e then Hashtbl.replace seen node ()) m.entries)
-    t.maps;
-  Hashtbl.fold (fun node () acc -> node :: acc) seen []
+  Hashtbl.fold
+    (fun node inner acc ->
+      if Hashtbl.fold (fun _ e any -> any || live t e) inner false then node :: acc else acc)
+    t.node_index []
 
 let entries_at_host t host =
   Hashtbl.fold
@@ -313,31 +381,67 @@ let hosting_stats t =
   in
   Prelude.Stats.summarize (Array.of_list counts)
 
-let sweep_expired t =
-  let dead = ref [] in
-  Hashtbl.iter
-    (fun key m ->
-      Hashtbl.iter
-        (fun _ e -> if not (live t e) then dead := (Hashtbl.find t.regions key, e, m) :: !dead)
-        m.entries)
-    t.maps;
-  let purged =
-    List.rev_map
-      (fun (region, e, m) ->
-        remove_entry t m e;
-        (region, e))
-      !dead
+(* Pop a shard's heap while the minimum stamp is due.  Each popped record
+   is checked against the current map contents: only a record whose entry
+   is still exactly the one in the map, and whose current stamp is due,
+   purges; everything else is a stale record from a superseded stamp.
+   Cost: O((expired + stale) * log heap) — independent of the number of
+   live entries. *)
+let sweep_shard_raw t i now =
+  let heap = t.shards.(i).expiry in
+  let visited = ref 0 in
+  let purged = ref [] in
+  let rec loop () =
+    match Heap.peek heap with
+    | Some (prio, _) when prio <= now ->
+      (match Heap.pop heap with
+      | Some (_, r) ->
+        incr visited;
+        (match Hashtbl.find_opt t.maps r.hr_key with
+        | Some m ->
+          (match Hashtbl.find_opt m.entries r.hr_entry.Entry.node with
+          | Some cur when cur == r.hr_entry && cur.Entry.expires <= now ->
+            remove_entry t ~key:r.hr_key m cur;
+            purged := (Hashtbl.find t.regions r.hr_key, cur) :: !purged
+          | Some _ | None -> ())
+        | None -> ());
+        loop ()
+      | None -> ())
+    | Some _ | None -> ()
   in
-  (match t.obs with
+  loop ();
+  (List.rev !purged, !visited)
+
+let observe_sweep t ~visited ~purged =
+  match t.obs with
   | None -> ()
   | Some o ->
+    Engine.Metrics.add o.sweep_visited visited;
     Engine.Metrics.add o.expired (List.length purged);
     Option.iter
       (fun tr ->
         Engine.Trace.emit tr
           ~note:(string_of_int (List.length purged) ^ " purged")
           Engine.Trace.Ttl_sweep ~node:(-1))
-      o.tracer);
+      o.tracer
+
+let sweep_shard t i =
+  if i < 0 || i >= Array.length t.shards then invalid_arg "Store.sweep_shard: shard out of range";
+  let purged, visited = sweep_shard_raw t i (t.clock ()) in
+  observe_sweep t ~visited ~purged;
+  purged
+
+let sweep_expired t =
+  let now = t.clock () in
+  let visited = ref 0 in
+  let purged = ref [] in
+  for i = 0 to Array.length t.shards - 1 do
+    let p, v = sweep_shard_raw t i now in
+    visited := !visited + v;
+    purged := p :: !purged
+  done;
+  let purged = List.concat (List.rev !purged) in
+  observe_sweep t ~visited:!visited ~purged;
   purged
 
 let expire_sweep t = List.length (sweep_expired t)
@@ -345,15 +449,19 @@ let expire_sweep t = List.length (sweep_expired t)
 let expire_node t node =
   let now = t.clock () in
   let aged = ref 0 in
-  Hashtbl.iter
-    (fun _ m ->
-      match Hashtbl.find_opt m.entries node with
-      | Some e when live t e ->
-        e.Entry.expires <- now;
-        incr aged
-      | Some _ | None -> ())
-    t.maps;
-  !aged
+  match Hashtbl.find_opt t.node_index node with
+  | None -> 0
+  | Some inner ->
+    Hashtbl.iter
+      (fun key e ->
+        if live t e then begin
+          e.Entry.expires <- now;
+          (* re-stamp in the heap so the next sweep visits it *)
+          schedule_expiry t ~key (Hashtbl.find t.maps key) e;
+          incr aged
+        end)
+      inner;
+    !aged
 
 let inject_staleness t ~rng ~fraction =
   if fraction < 0.0 || fraction > 1.0 then
@@ -361,11 +469,12 @@ let inject_staleness t ~rng ~fraction =
   let now = t.clock () in
   let aged = ref 0 in
   Hashtbl.iter
-    (fun _ m ->
+    (fun key m ->
       Hashtbl.iter
         (fun _ e ->
           if live t e && Prelude.Rng.chance rng fraction then begin
             e.Entry.expires <- now;
+            schedule_expiry t ~key m e;
             incr aged
           end)
         m.entries)
@@ -384,37 +493,96 @@ let rehost t =
 let check_invariants t =
   let ( let* ) r f = Result.bind r f in
   let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let* () =
+    Hashtbl.fold
+      (fun key m acc ->
+        let* () = acc in
+        let region = Hashtbl.find t.regions key in
+        let* () =
+          if Zone.equal m.box (map_box t region) then Ok ()
+          else err "map box drifted for a region"
+        in
+        let* () =
+          if m.shard = shard_of_key t key then Ok ()
+          else err "region assigned to the wrong shard"
+        in
+        let* () =
+          Hashtbl.fold
+            (fun node e acc ->
+              let* () = acc in
+              if not (Zone.contains m.box e.Entry.position) then
+                err "entry for node %d outside its map box" node
+              else begin
+                let host = Can_overlay.owner_of t.can e.Entry.position in
+                let* () =
+                  match Hashtbl.find_opt m.by_host host with
+                  | Some l when List.exists (fun (x : Entry.t) -> x.Entry.node = node) !l -> Ok ()
+                  | _ -> err "entry for node %d not indexed under its host" node
+                in
+                (* reverse index agrees with the map *)
+                match Hashtbl.find_opt t.node_index node with
+                | Some inner ->
+                  (match Hashtbl.find_opt inner key with
+                  | Some e' when e' == e -> Ok ()
+                  | Some _ | None -> err "entry for node %d missing from the node index" node)
+                | None -> err "entry for node %d missing from the node index" node
+              end)
+            m.entries (Ok ())
+        in
+        (* no orphans in the host index *)
+        Hashtbl.fold
+          (fun _ l acc ->
+            let* () = acc in
+            List.fold_left
+              (fun acc (e : Entry.t) ->
+                let* () = acc in
+                if Hashtbl.mem m.entries e.Entry.node then Ok ()
+                else err "host index holds an orphan entry")
+              (Ok ()) !l)
+          m.by_host (Ok ()))
+      t.maps (Ok ())
+  in
+  (* no orphans in the reverse index *)
+  let* () =
+    Hashtbl.fold
+      (fun node inner acc ->
+        let* () = acc in
+        Hashtbl.fold
+          (fun key e acc ->
+            let* () = acc in
+            match Hashtbl.find_opt t.maps key with
+            | Some m ->
+              (match Hashtbl.find_opt m.entries node with
+              | Some e' when e' == e -> Ok ()
+              | Some _ | None -> err "node index holds an orphan entry for node %d" node)
+            | None -> err "node index holds an orphan entry for node %d" node)
+          inner (Ok ()))
+      t.node_index (Ok ())
+  in
+  (* every current entry is covered by a heap record at its current stamp,
+     in the shard that owns its region (stale records are fine; a missing
+     fresh record would make the entry immortal to sweeps) *)
+  let covered = Hashtbl.create 256 in
+  Array.iteri
+    (fun si shard ->
+      Heap.iter
+        (fun prio r ->
+          match Hashtbl.find_opt t.maps r.hr_key with
+          | Some m when m.shard = si ->
+            (match Hashtbl.find_opt m.entries r.hr_entry.Entry.node with
+            | Some cur when cur == r.hr_entry && prio = cur.Entry.expires ->
+              Hashtbl.replace covered (r.hr_key, cur.Entry.node) ()
+            | Some _ | None -> ())
+          | Some _ | None -> ())
+        shard.expiry)
+    t.shards;
   Hashtbl.fold
     (fun key m acc ->
       let* () = acc in
-      let region = Hashtbl.find t.regions key in
-      let* () =
-        if Zone.equal m.box (map_box t region) then Ok ()
-        else err "map box drifted for a region"
-      in
-      let* () =
-        Hashtbl.fold
-          (fun node e acc ->
-            let* () = acc in
-            if not (Zone.contains m.box e.Entry.position) then
-              err "entry for node %d outside its map box" node
-            else begin
-              let host = Can_overlay.owner_of t.can e.Entry.position in
-              match Hashtbl.find_opt m.by_host host with
-              | Some l when List.exists (fun (x : Entry.t) -> x.Entry.node = node) !l -> Ok ()
-              | _ -> err "entry for node %d not indexed under its host" node
-            end)
-          m.entries (Ok ())
-      in
-      (* no orphans in the host index *)
       Hashtbl.fold
-        (fun _ l acc ->
+        (fun node _ acc ->
           let* () = acc in
-          List.fold_left
-            (fun acc (e : Entry.t) ->
-              let* () = acc in
-              if Hashtbl.mem m.entries e.Entry.node then Ok ()
-              else err "host index holds an orphan entry")
-            (Ok ()) !l)
-        m.by_host (Ok ()))
+          if Hashtbl.mem covered (key, node) then Ok ()
+          else err "entry for node %d has no live expiry-heap record" node)
+        m.entries (Ok ()))
     t.maps (Ok ())

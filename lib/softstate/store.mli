@@ -33,6 +33,7 @@ val create :
   ?metrics:Engine.Metrics.t ->
   ?labels:Engine.Metrics.labels ->
   ?trace:Engine.Trace.t ->
+  ?shards:int ->
   ?condense:float ->
   ?base_fraction:float ->
   ?default_ttl:float ->
@@ -41,6 +42,11 @@ val create :
   Can.Overlay.t ->
   t
 (** [create ~scheme can] builds an empty store over a CAN overlay.
+
+    [shards] (default 1) partitions the region maps by region-prefix key
+    into independently-swept shards, each with its own TTL expiry heap;
+    sharding never changes which entries exist, only how sweep work is
+    scheduled (see {!sweep_shard}).
 
     [condense] (default 1.0) is the paper's map condense/reduction rate:
     the map of a region occupies the sub-box of the region with volume
@@ -54,21 +60,33 @@ val create :
     [fun () -> Sim.now sim] to run under the engine).
 
     With [metrics], the store maintains [store_publishes] /
-    [store_refreshes] / [store_expired] counters (plus any [labels]).
-    With [trace], every {!publish} emits a [Map_publish] span (node = map
+    [store_refreshes] / [store_expired] / [store_sweep_visited] counters
+    (plus any [labels]); [store_sweep_visited] counts expiry-heap records
+    popped by sweeps — it scales with the number of expired entries (plus
+    superseded stamps), not with the total entry population.  With
+    [trace], every {!publish} emits a [Map_publish] span (node = map
     host, peer = described node, note = region path bits) and every
-    {!sweep_expired} emits a [Ttl_sweep] span noting the purge count. *)
+    sweep emits a [Ttl_sweep] span noting the purge count. *)
 
 val can : t -> Can.Overlay.t
 val scheme : t -> Landmark.Number.scheme
 val condense : t -> float
+
+val shard_count : t -> int
+(** Number of expiry shards the store was created with. *)
+
+val shard_of_region : t -> int array -> int
+(** The shard that owns a region's map (region-prefix key mod
+    {!shard_count}); stable for the store's lifetime. *)
 
 val map_box : t -> int array -> Geometry.Zone.t
 (** The (condensed) box of a region's map. *)
 
 val publish : t -> region:int array -> node:int -> vector:float array -> unit
 (** Insert or overwrite the entry describing [node] in a region's map,
-    stamped with the default TTL. *)
+    stamped with the default TTL.  Overwriting is a refresh-by-replacement:
+    the replaced entry's load statistics ({!Entry.t.load} /
+    {!Entry.t.capacity}) carry over to the new entry. *)
 
 val publish_all : t -> span_bits:int -> node:int -> vector:float array -> unit
 (** Publish [node] into every high-order zone enclosing its CAN zone
@@ -142,7 +160,15 @@ val expire_sweep : t -> int
 val sweep_expired : t -> (int array * Entry.t) list
 (** Like {!expire_sweep} but returns the purged [(region, entry)] pairs,
     so a maintenance layer can turn TTL expiry into departure
-    notifications for the region's subscribers. *)
+    notifications for the region's subscribers.  Sweeps every shard; the
+    cost is O(expired · log heap), independent of the live population, and
+    the purge order is deterministic (ascending expiry within a shard,
+    shards in index order). *)
+
+val sweep_shard : t -> int -> (int array * Entry.t) list
+(** Sweep a single shard (raises [Invalid_argument] out of range) — the
+    unit of work a maintenance plane schedules independently per shard so
+    no single sweep touches the whole store. *)
 
 val expire_node : t -> int -> int
 (** Fault injection: age every live entry describing the node so it is

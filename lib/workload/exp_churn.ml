@@ -201,11 +201,15 @@ let pastry_convergence ?(samples = 64) ~seed mesh =
 (* ------------------------------------------------------------------ *)
 
 let ecan_outcomes ?(size = 256) ?(seed = 11) ?(storm = Faults.default_storm)
-    ?(channel = Faults.reliable) oracle =
+    ?(channel = Faults.reliable) ?(shards = 1) ?(digest_window = 0.0) oracle =
   let sim = Sim.create () in
   let faults = Faults.create ~channel ~seed:(seed * 1009 + 1) () in
   let config =
-    { Builder.default_config with Builder.overlay_size = size; ttl; seed = seed * 1009 + 2 }
+    { Builder.default_config with
+      Builder.overlay_size = size;
+      ttl;
+      shards;
+      seed = seed * 1009 + 2 }
   in
   (* The whole eCAN stack reports into the global registry under an
      [experiment=churn] label, so [bench --json] carries the storm's
@@ -218,7 +222,7 @@ let ecan_outcomes ?(size = 256) ?(seed = 11) ?(storm = Faults.default_storm)
   let can = Ecan_exp.can b.Builder.ecan in
   let m =
     Maintenance.start ~sim ~metrics ~labels ~refresh_period ~sweep_period
-      ~channel:(Faults.perturb faults) b
+      ~channel:(Faults.perturb faults) ~digest_window b
   in
   Maintenance.subscribe_all_slots m;
   Maintenance.enable_liveness_polling m ~period:liveness_period
@@ -508,22 +512,26 @@ let pastry_outcome ?(size = 256) ?(seed = 11) ?(storm = Faults.default_storm) or
 
 let default_channel = { Faults.loss = 0.05; delay_min = 5.0; delay_max = 50.0 }
 
-let run_custom ?(scale = 1) ?(seed = 11) ~storm ~channel ppf =
+let run_custom ?(scale = 1) ?(seed = 11) ?(shards = 1) ?(digest_window = 0.0) ~storm ~channel
+    ppf =
   let oracle = Ctx.oracle ~scale Ctx.Tsk_large Topology.Transit_stub.Manual in
   let size = max 96 (768 / scale) in
-  let ecan_o, can_o = ecan_outcomes ~size ~seed ~storm ~channel oracle in
+  let ecan_o, can_o = ecan_outcomes ~size ~seed ~storm ~channel ~shards ~digest_window oracle in
   let chord_o = chord_outcome ~size ~seed ~storm oracle in
   let pastry_o = pastry_outcome ~size ~seed ~storm oracle in
   let table =
     Tableout.create
       ~title:
         (Printf.sprintf
-           "Churn storm over %d nodes: %d crashes, %d leaves, %d joins, %.0f%% staleness x%d, loss %.0f%%, seed %d"
+           "Churn storm over %d nodes: %d crashes, %d leaves, %d joins, %.0f%% staleness x%d, loss %.0f%%, seed %d%s"
            size storm.Faults.crashes storm.Faults.leaves storm.Faults.joins
            (100.0 *. storm.Faults.expire_fraction)
            storm.Faults.expire_bursts
            (100.0 *. channel.Faults.loss)
-           seed)
+           seed
+           (if shards > 1 || digest_window > 0.0 then
+              Printf.sprintf " [%d shards, %.0f ms digests]" shards digest_window
+            else ""))
       ~columns:
         [ "overlay"; "stretch pre"; "storm"; "repaired"; "repair ms"; "work"; "notifs"; "drops"; "ok" ]
   in

@@ -56,12 +56,18 @@ val ecan_outcomes :
   ?seed:int ->
   ?storm:Engine.Faults.storm ->
   ?channel:Engine.Faults.channel ->
+  ?shards:int ->
+  ?digest_window:float ->
   Topology.Oracle.t ->
   outcome * outcome
 (** Drive an eCAN (with pub/sub repair, liveness polling, TTL sweeps and
     periodic table audit) through the storm; the second outcome is the
     plain-CAN greedy-routing baseline measured on the same substrate at
-    the same instants.  [size] defaults to 256 members. *)
+    the same instants.  [size] defaults to 256 members.  [shards]
+    (default 1) shards the soft-state store's TTL machinery
+    ({!Softstate.Store.create}); [digest_window] (default 0, i.e. off)
+    batches notifications into per-(subscriber, region) digests
+    ({!Pubsub.Bus.create}). *)
 
 val chord_outcome :
   ?size:int -> ?seed:int -> ?storm:Engine.Faults.storm -> Topology.Oracle.t -> outcome
@@ -79,8 +85,12 @@ val run : ?scale:int -> ?seed:int -> Format.formatter -> unit
 val run_custom :
   ?scale:int ->
   ?seed:int ->
+  ?shards:int ->
+  ?digest_window:float ->
   storm:Engine.Faults.storm ->
   channel:Engine.Faults.channel ->
   Format.formatter ->
   unit
-(** [run] with an explicit storm and channel (the CLI hook). *)
+(** [run] with an explicit storm, channel, store sharding and digest
+    window (the CLI hook; the maintenance-plane knobs only affect the
+    eCAN row). *)

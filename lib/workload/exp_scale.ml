@@ -34,6 +34,10 @@ let figure ~title ~scale latency ppf =
               Builder.overlay_size = size;
               landmark_count;
               strategy = Strategy.Random_pick;
+              (* Scale the store's expiry sharding with membership, so the
+                 biggest builds run the sharded maintenance plane (stretch
+                 is unaffected: the clock is frozen, nothing expires). *)
+              shards = max 1 (size / 1024);
               seed = 42 + n;
             }
         in

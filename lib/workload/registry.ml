@@ -32,6 +32,8 @@ let all =
     entry "waxman" "Robustness: flat Waxman topology (no hierarchy)" Exp_waxman.run;
     entry "churn" "Robustness: churn & fault storms, soft-state repair (all overlays)"
       (fun ?scale ppf -> Exp_churn.run ?scale ppf);
+    entry "storm" "Maintenance plane: digest batching & heap-swept TTL under burst load"
+      Exp_storm.run;
   ]
 
 let find name = List.find_opt (fun e -> e.name = name) all

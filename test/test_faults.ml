@@ -236,6 +236,62 @@ let test_chord_pastry_storm_repairs () =
   Alcotest.(check bool) "Pastry converges after the storm" true pastry_o.Exp_churn.converged;
   Alcotest.(check bool) "stabilisation did work" true (pastry_o.Exp_churn.repair_work > 0)
 
+(* The maintenance-plane knobs under churn: the full churn driver still
+   converges with a sharded store and digest-batched notifications, and
+   the sharded store's invariants (shard assignment, reverse indexes,
+   heap coverage) hold at every point of a raw maintenance storm. *)
+let test_sharded_digest_churn () =
+  let oracle = Lazy.force oracle in
+  let ecan_o, _ =
+    Exp_churn.ecan_outcomes ~size:48 ~seed:5 ~storm:small_storm ~channel:lossy ~shards:4
+      ~digest_window:40.0 oracle
+  in
+  Alcotest.(check bool) "converges with sharded store + digests" true
+    ecan_o.Exp_churn.converged;
+  Alcotest.(check bool) "notifications still flow" true (ecan_o.Exp_churn.notifications > 0);
+  (* Raw maintenance storm with a mid-run invariant probe. *)
+  let sim = Sim.create () in
+  let b =
+    Builder.build
+      ~clock:(fun () -> Sim.now sim)
+      oracle
+      { Builder.default_config with Builder.overlay_size = 48; ttl = 60_000.0; shards = 3; seed = 7 }
+  in
+  let store = b.Builder.store in
+  Alcotest.(check int) "builder wired the shards through" 3
+    (Softstate.Store.shard_count store);
+  let m =
+    Core.Maintenance.start ~sim ~refresh_period:20_000.0 ~sweep_period:5_000.0
+      ~digest_window:40.0 b
+  in
+  Core.Maintenance.subscribe_all_slots m;
+  let can = Ecan_exp.can b.Builder.ecan in
+  let drv = Rng.create 99 in
+  let assert_invariants () =
+    match Softstate.Store.check_invariants store with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail ("sharded invariants violated mid-churn: " ^ e)
+  in
+  let joiners =
+    Array.of_seq
+      (Seq.filter
+         (fun i -> not (Can_overlay.mem can i))
+         (Seq.init (Oracle.node_count oracle) (fun i -> i)))
+  in
+  List.iteri
+    (fun i delay ->
+      ignore
+        (Sim.schedule sim ~delay (fun () ->
+          match i mod 3 with
+          | 0 -> Core.Maintenance.node_crashes m (Rng.pick drv (Can_overlay.node_ids can))
+          | 1 -> Core.Maintenance.node_departs m (Rng.pick drv (Can_overlay.node_ids can))
+          | _ -> Core.Maintenance.node_joins m joiners.(i))))
+    [ 10_000.0; 20_000.0; 30_000.0; 40_000.0; 50_000.0; 60_000.0 ];
+  ignore (Sim.every sim ~period:7_500.0 assert_invariants);
+  Sim.run ~until:150_000.0 sim;
+  assert_invariants ();
+  Core.Maintenance.stop m
+
 let test_storm_metrics_deterministic () =
   let oracle = Lazy.force oracle in
   let run () = Exp_churn.ecan_outcomes ~size:48 ~seed:9 ~storm:small_storm ~channel:lossy oracle in
@@ -257,6 +313,7 @@ let suite =
     Alcotest.test_case "chord oracle: storm then rebuild" `Quick test_chord_oracle;
     Alcotest.test_case "pastry oracle: storm then rebuild" `Quick test_pastry_oracle;
     Alcotest.test_case "ecan storm repairs" `Quick test_ecan_storm_repairs;
+    Alcotest.test_case "sharded store + digests under churn" `Quick test_sharded_digest_churn;
     Alcotest.test_case "chord/pastry storm repairs" `Quick test_chord_pastry_storm_repairs;
     Alcotest.test_case "storm metrics deterministic" `Quick test_storm_metrics_deterministic;
   ]

@@ -261,6 +261,151 @@ let test_channel_drop () =
   Alcotest.(check int) "drop counted" 1 (Bus.dropped_count dead_bus);
   Alcotest.(check int) "no delivery counted" 0 (Bus.delivered_count dead_bus)
 
+(* ---- digest batching ---- *)
+
+let event_str = function
+  | Bus.Entry_published { region; entry_node } ->
+    Printf.sprintf "pub[%s]%d" (String.concat "" (List.map string_of_int (Array.to_list region))) entry_node
+  | Bus.Entry_departed { region; entry_node } ->
+    Printf.sprintf "dep[%s]%d" (String.concat "" (List.map string_of_int (Array.to_list region))) entry_node
+  | Bus.Load_changed { region; entry_node; load } ->
+    Printf.sprintf "load[%s]%d=%.3f"
+      (String.concat "" (List.map string_of_int (Array.to_list region)))
+      entry_node load
+
+let test_digest_batches_per_subscriber () =
+  let rng = Rng.create 13 in
+  let can = Can_overlay.create ~dims:2 0 in
+  for id = 1 to 29 do
+    ignore (Can_overlay.join can id (Point.random rng 2))
+  done;
+  let sim = Sim.create () in
+  let store = Store.create ~clock:(fun () -> Sim.now sim) ~scheme can in
+  let bus = Bus.create ~sim ~digest_window:50.0 store in
+  let per_sub = Array.make 3 [] in
+  for s = 0 to 2 do
+    ignore
+      (Bus.subscribe bus ~subscriber:s ~region:[||] ~condition:Bus.Any_new_entry
+         ~handler:(fun n ->
+           (match n.Bus.event with
+           | Bus.Entry_published { entry_node; _ } ->
+             per_sub.(s) <- (entry_node, n.Bus.delivered_at) :: per_sub.(s)
+           | _ -> ())))
+  done;
+  (* five publishes at the same instant: one digest per subscriber *)
+  for node = 100 to 104 do
+    Bus.publish bus ~region:[||] ~node ~vector:(vec rng)
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "15 notifications sent" 15 (Bus.sent_count bus);
+  Alcotest.(check int) "all delivered" 15 (Bus.delivered_count bus);
+  Alcotest.(check int) "but only one engine event per subscriber" 3 (Bus.batched_count bus);
+  Array.iteri
+    (fun s deliveries ->
+      let deliveries = List.rev deliveries in
+      Alcotest.(check (list int))
+        (Printf.sprintf "sub %d gets the digest items in arrival order" s)
+        [ 100; 101; 102; 103; 104 ]
+        (List.map fst deliveries);
+      List.iter
+        (fun (_, at) ->
+          Alcotest.(check (float 1e-9)) "delivered when the window closes" 50.0 at)
+        deliveries)
+    per_sub
+
+let test_digest_unsubscribe_before_flush () =
+  let bus, sim, rng = setup ~seed:14 () in
+  ignore bus;
+  let store = Bus.store bus in
+  let dbus = Bus.create ~sim ~digest_window:50.0 store in
+  let victim_fired = ref 0 and keeper_fired = ref 0 in
+  let victim =
+    Bus.subscribe dbus ~subscriber:1 ~region:[||] ~condition:Bus.Any_new_entry
+      ~handler:(fun _ -> incr victim_fired)
+  in
+  let _keeper =
+    Bus.subscribe dbus ~subscriber:2 ~region:[||] ~condition:Bus.Any_new_entry
+      ~handler:(fun _ -> incr keeper_fired)
+  in
+  Bus.publish dbus ~region:[||] ~node:100 ~vector:(vec rng);
+  (* the digest is pending; the victim unsubscribes before it flushes *)
+  Bus.unsubscribe dbus victim;
+  Sim.run sim;
+  Alcotest.(check int) "unsubscribed before the flush: not delivered" 0 !victim_fired;
+  Alcotest.(check int) "survivor delivered" 1 !keeper_fired
+
+(* The same scripted op sequence (bursty publishes and departures over a
+   lossy, delay-jittering channel) against a bus built with the given
+   window.  Returns the delivery log and the bus accounting. *)
+let run_script ?digest_window ~seed () =
+  let rng = Rng.create seed in
+  let can = Can_overlay.create ~dims:2 0 in
+  for id = 1 to 29 do
+    ignore (Can_overlay.join can id (Point.random rng 2))
+  done;
+  let sim = Sim.create () in
+  let store = Store.create ~clock:(fun () -> Sim.now sim) ~scheme can in
+  let k = ref 0 in
+  let channel base =
+    incr k;
+    if !k mod 3 = 0 then None else Some (base +. float_of_int (!k mod 5))
+  in
+  let bus =
+    Bus.create ~sim ~latency:(fun ~host:_ ~subscriber:_ -> 10.0) ~channel ?digest_window store
+  in
+  let log = ref [] in
+  let watch s condition =
+    ignore
+      (Bus.subscribe bus ~subscriber:s ~region:[||] ~condition ~handler:(fun n ->
+           log := (n.Bus.subscriber, event_str n.Bus.event, n.Bus.delivered_at) :: !log))
+  in
+  for s = 0 to 3 do
+    watch s Bus.Any_new_entry
+  done;
+  watch 9 (Bus.Departure_of 100);
+  let next = ref 100 in
+  for step = 0 to 19 do
+    Sim.run ~until:(float_of_int step *. 20.0) sim;
+    match Rng.int rng 3 with
+    | 0 | 1 ->
+      Bus.publish bus ~region:[||] ~node:!next ~vector:(vec rng);
+      incr next
+    | _ -> if !next > 100 then Bus.depart bus ~node:(100 + Rng.int rng (!next - 100))
+  done;
+  Sim.run sim;
+  ( List.rev !log,
+    (Bus.sent_count bus, Bus.delivered_count bus, Bus.dropped_count bus, Bus.batched_count bus) )
+
+(* The zero-window contract: building the bus with [~digest_window:0.0]
+   is byte-for-byte the seed path — same deliveries, same order, same
+   times, same accounting, no digests. *)
+let test_digest_window_zero_is_seed_path () =
+  let seed_log, (s1, d1, x1, b1) = run_script ~seed:42 () in
+  let zero_log, (s2, d2, x2, b2) = run_script ~digest_window:0.0 ~seed:42 () in
+  Alcotest.(check int) "same sent" s1 s2;
+  Alcotest.(check int) "same delivered" d1 d2;
+  Alcotest.(check int) "same dropped" x1 x2;
+  Alcotest.(check int) "no digests either way" b1 b2;
+  Alcotest.(check int) "no digests at window 0" 0 b2;
+  Alcotest.(check int) "same delivery count" (List.length seed_log) (List.length zero_log);
+  List.iter2
+    (fun (sub1, ev1, at1) (sub2, ev2, at2) ->
+      Alcotest.(check int) "same subscriber" sub1 sub2;
+      Alcotest.(check string) "same event" ev1 ev2;
+      Alcotest.(check (float 1e-9)) "same delivery time" at1 at2)
+    seed_log zero_log
+
+let qcheck_digest_same_multiset =
+  QCheck.Test.make ~name:"digest window preserves the delivered multiset" ~count:40
+    QCheck.(pair (int_range 0 10_000) (int_range 1 120))
+    (fun (seed, window) ->
+      let seed_log, (s1, d1, x1, _) = run_script ~seed () in
+      let digest_log, (s2, d2, x2, _) =
+        run_script ~digest_window:(float_of_int window) ~seed ()
+      in
+      let multiset log = List.sort compare (List.map (fun (s, e, _) -> (s, e)) log) in
+      s1 = s2 && d1 = d2 && x1 = x2 && multiset seed_log = multiset digest_log)
+
 let suite =
   [
     Alcotest.test_case "any-new-entry condition" `Quick test_any_new_entry;
@@ -275,4 +420,8 @@ let suite =
     Alcotest.test_case "duplicate subscription" `Quick test_duplicate_subscription;
     Alcotest.test_case "ordering under injected delay" `Quick test_ordering_under_injected_delay;
     Alcotest.test_case "channel drop" `Quick test_channel_drop;
+    Alcotest.test_case "digest batches per subscriber" `Quick test_digest_batches_per_subscriber;
+    Alcotest.test_case "digest skips early unsubscriber" `Quick test_digest_unsubscribe_before_flush;
+    Alcotest.test_case "digest window 0 = seed path" `Quick test_digest_window_zero_is_seed_path;
+    QCheck_alcotest.to_alcotest qcheck_digest_same_multiset;
   ]

@@ -12,7 +12,7 @@ let scheme = Number.default_scheme ~max_latency:100.0 ()
 let check_ok = function Ok () -> () | Error e -> Alcotest.fail e
 
 (* A small CAN plus a clock we can advance by hand. *)
-let setup ?(condense = 1.0) ?(ttl = 100.0) ?(n = 40) ~seed () =
+let setup ?(condense = 1.0) ?(ttl = 100.0) ?(n = 40) ?(shards = 1) ~seed () =
   let rng = Rng.create seed in
   let can = Can_overlay.create ~dims:2 0 in
   for id = 1 to n - 1 do
@@ -20,7 +20,7 @@ let setup ?(condense = 1.0) ?(ttl = 100.0) ?(n = 40) ~seed () =
   done;
   let now = ref 0.0 in
   let store =
-    Store.create ~condense ~default_ttl:ttl ~clock:(fun () -> !now) ~scheme can
+    Store.create ~shards ~condense ~default_ttl:ttl ~clock:(fun () -> !now) ~scheme can
   in
   (store, can, now, rng)
 
@@ -238,6 +238,119 @@ let test_rehost_after_churn () =
   Store.rehost store;
   check_ok (Store.check_invariants store)
 
+let test_republish_preserves_stats () =
+  let store, _, _, rng = setup ~seed:16 () in
+  Store.publish store ~region:[||] ~node:1 ~vector:(vec rng);
+  Store.update_stats store ~region:[||] ~node:1 ~load:0.7 ~capacity:3.0;
+  (* overwrite = refresh-by-replacement: the vector changes, the load
+     statistics survive *)
+  Store.publish store ~region:[||] ~node:1 ~vector:(vec rng);
+  (match Store.find store ~region:[||] ~node:1 with
+  | Some e ->
+    Alcotest.(check (float 0.0)) "load carried over" 0.7 e.Store.Entry.load;
+    Alcotest.(check (float 0.0)) "capacity carried over" 3.0 e.Store.Entry.capacity
+  | None -> Alcotest.fail "missing");
+  (* a brand-new node starts from the defaults *)
+  Store.publish store ~region:[||] ~node:2 ~vector:(vec rng);
+  match Store.find store ~region:[||] ~node:2 with
+  | Some e -> Alcotest.(check (float 0.0)) "fresh entry unloaded" 0.0 e.Store.Entry.load
+  | None -> Alcotest.fail "missing"
+
+(* ---- sharded sweeps ---- *)
+
+let regions_under_test = [ [||]; [| 0 |]; [| 1 |]; [| 0; 1 |]; [| 1; 0 |]; [| 1; 1 |] ]
+
+let test_shard_sweep_partition () =
+  let store, _, now, rng = setup ~shards:4 ~ttl:50.0 ~seed:17 () in
+  Alcotest.(check int) "shard count" 4 (Store.shard_count store);
+  List.iter
+    (fun region ->
+      let s = Store.shard_of_region store region in
+      Alcotest.(check bool) "shard in range" true (s >= 0 && s < 4);
+      Alcotest.(check int) "shard assignment stable" s (Store.shard_of_region store region);
+      for node = 0 to 9 do
+        Store.publish store ~region ~node ~vector:(vec rng)
+      done)
+    regions_under_test;
+  check_ok (Store.check_invariants store);
+  now := 60.0;
+  (* per-shard sweeps partition the expired population: each purged
+     region belongs to the swept shard, and the union covers everything *)
+  let total = ref 0 in
+  for i = 0 to Store.shard_count store - 1 do
+    let purged = Store.sweep_shard store i in
+    List.iter
+      (fun (region, _) ->
+        Alcotest.(check int) "purged region owned by the swept shard" i
+          (Store.shard_of_region store region))
+      purged;
+    total := !total + List.length purged
+  done;
+  Alcotest.(check int) "union of shard sweeps purges everything"
+    (10 * List.length regions_under_test)
+    !total;
+  Alcotest.(check int) "nothing left" 0 (Store.expire_sweep store);
+  check_ok (Store.check_invariants store);
+  Alcotest.check_raises "shard index range-checked"
+    (Invalid_argument "Store.sweep_shard: shard out of range") (fun () ->
+      ignore (Store.sweep_shard store 4))
+
+(* The heap-swept sharded store must purge exactly what a naive
+   full-scan reference model would, under any interleaving of publish /
+   refresh / unpublish / clock advance / sweep.  The model is an assoc
+   table ((region, node) -> expires) mutated by the same rules. *)
+let qcheck_sweep_matches_scan_model =
+  let key region node = (Array.to_list region, node) in
+  QCheck.Test.make ~name:"sharded heap sweeps = full-scan reference model" ~count:40
+    QCheck.(triple (int_range 0 1_000) (int_range 1 5) (int_range 30 120))
+    (fun (seed, shards, steps) ->
+      let ttl = 50.0 in
+      let store, _, now, rng = setup ~shards ~ttl ~seed () in
+      let model : ((int list * int), float) Hashtbl.t = Hashtbl.create 64 in
+      let regions = Array.of_list regions_under_test in
+      let pick_region () = regions.(Rng.int rng (Array.length regions)) in
+      let pick_node () = Rng.int rng 12 in
+      let model_live k = match Hashtbl.find_opt model k with
+        | Some e -> e > !now
+        | None -> false
+      in
+      let sweep_and_compare () =
+        let purged =
+          Store.sweep_expired store
+          |> List.map (fun (region, (e : Store.Entry.t)) -> key region e.Store.Entry.node)
+          |> List.sort compare
+        in
+        let expected =
+          Hashtbl.fold (fun k e acc -> if e <= !now then k :: acc else acc) model []
+          |> List.sort compare
+        in
+        List.iter (fun k -> Hashtbl.remove model k) expected;
+        purged = expected
+      in
+      let ok = ref true in
+      for _ = 1 to steps do
+        (match Rng.int rng 6 with
+        | 0 | 1 ->
+          let region = pick_region () and node = pick_node () in
+          Store.publish store ~region ~node ~vector:(vec rng);
+          Hashtbl.replace model (key region node) (!now +. ttl)
+        | 2 ->
+          let region = pick_region () and node = pick_node () in
+          Store.refresh store ~region ~node;
+          let k = key region node in
+          if model_live k then Hashtbl.replace model k (!now +. ttl)
+        | 3 ->
+          let region = pick_region () and node = pick_node () in
+          Store.unpublish store ~region ~node;
+          Hashtbl.remove model (key region node)
+        | 4 -> now := !now +. Rng.float rng 30.0
+        | _ -> if not (sweep_and_compare ()) then ok := false);
+        if Store.check_invariants store <> Ok () then ok := false
+      done;
+      now := !now +. (2.0 *. ttl);
+      !ok && sweep_and_compare () && Hashtbl.length model = 0
+      && Store.check_invariants store = Ok ())
+
 let qcheck_host_index_consistent =
   QCheck.Test.make ~name:"hosting matches CAN ownership after random publishes" ~count:20
     QCheck.(pair (int_range 0 500) (int_range 5 40))
@@ -265,5 +378,8 @@ let suite =
     Alcotest.test_case "load statistics" `Quick test_update_stats;
     Alcotest.test_case "lookup routes reach the host" `Quick test_lookup_route_reaches_host;
     Alcotest.test_case "rehost after churn" `Quick test_rehost_after_churn;
+    Alcotest.test_case "re-publish preserves load stats" `Quick test_republish_preserves_stats;
+    Alcotest.test_case "per-shard sweeps partition expiry" `Quick test_shard_sweep_partition;
+    QCheck_alcotest.to_alcotest qcheck_sweep_matches_scan_model;
     QCheck_alcotest.to_alcotest qcheck_host_index_consistent;
   ]
