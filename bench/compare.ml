@@ -88,20 +88,22 @@ let () =
   let problems = ref [] in
   let problem fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
   let compared = ref 0 in
+  (* Instrument-set drift is collected separately and printed as one
+     grouped, readable diff instead of a mismatch line per instrument. *)
+  let removed = ref [] and added = ref [] in
   let diff_section name fields =
     let b = section name base and c = section name cur in
     List.iter
       (fun (k, bo) ->
         match List.assoc_opt k c with
-        | None -> problem "%s %s: missing from fresh run" name k
+        | None -> removed := (name, k) :: !removed
         | Some co ->
           incr compared;
           List.iter (fun check -> check k bo co) fields)
       b;
     List.iter
       (fun (k, _) ->
-        if not (List.mem_assoc k b) then
-          problem "%s %s: not in baseline (new instrument? regenerate the baseline)" name k)
+        if not (List.mem_assoc k b) then added := (name, k) :: !added)
       c
   in
   let exact_int section_name field k bo co =
@@ -121,6 +123,23 @@ let () =
     :: List.map
          (fun f -> close_float "histogram" f)
          [ "mean"; "min"; "max"; "p50"; "p90"; "p95"; "p99" ]);
+  if !removed <> [] || !added <> [] then begin
+    Printf.eprintf "bench-compare: instrument set changed vs %s:\n" base_path;
+    let dump sign what entries =
+      match List.sort compare entries with
+      | [] -> ()
+      | es ->
+        Printf.eprintf "  %s %s (%d):\n" sign what (List.length es);
+        List.iter (fun (sect, k) -> Printf.eprintf "      %s %s\n" sect k) es
+    in
+    dump "-" "removed (in baseline, missing from fresh run)" !removed;
+    dump "+" "added (in fresh run, not in baseline)" !added;
+    prerr_endline
+      "  deliberate change? regenerate with:\n\
+      \      dune exec bench/main.exe -- --no-micro --scale 8 --json BENCH_BASELINE.json";
+    problem "instrument set drift: %d removed, %d added" (List.length !removed)
+      (List.length !added)
+  end;
   match !problems with
   | [] ->
     Printf.printf "bench-compare: OK — %d instruments match %s (tolerance %.1f%%)\n" !compared

@@ -53,6 +53,12 @@ let latency_arg =
   let model = Arg.enum [ ("gtitm", Ts.Gtitm_random); ("manual", Ts.Manual) ] in
   Arg.(value & opt model Ts.Gtitm_random & info [ "latency" ] ~docv:"MODEL" ~doc)
 
+let probe_window_arg =
+  let doc =
+    "Probe-plane concurrency: how many RTT probes fly at once (1 = sequential).      Changes modelled probe wall-clock only, never which probes are sent."
+  in
+  Arg.(value & opt int 1 & info [ "probe-window" ] ~docv:"W" ~doc)
+
 (* ---- list ---- *)
 
 let list_cmd =
@@ -150,7 +156,7 @@ let nn_search_cmd =
   let budget_arg =
     Arg.(value & opt int 10 & info [ "budget" ] ~docv:"N" ~doc:"RTT measurement budget.")
   in
-  let run variant latency seed scale budget =
+  let run variant latency seed scale budget probe_window =
     let oracle = Workload.Ctx.oracle ~scale variant latency in
     let n = Oracle.node_count oracle in
     let rng = Rng.create seed in
@@ -164,22 +170,32 @@ let nn_search_cmd =
     let query = Rng.int rng n in
     let nearest, optimal = Search.true_nearest oracle ~query ~candidates:all in
     Format.fprintf ppf "query node %d; true nearest %d at %.2f ms@." query nearest optimal;
+    let prober =
+      Engine.Probe.create
+        ~config:{ Engine.Probe.default_config with Engine.Probe.window = probe_window }
+        ~measure:(Oracle.measure oracle) ()
+    in
     let last name (c : Search.curve) =
       let k = Array.length c.Search.dist - 1 in
-      Format.fprintf ppf "%-10s found %d at %.2f ms (stretch %.3f) with %d probes@." name
+      Format.fprintf ppf
+        "%-10s found %d at %.2f ms (stretch %.3f) with %d probes in %.1f ms wall-clock@." name
         c.Search.found.(k) c.Search.dist.(k)
         (c.Search.dist.(k) /. optimal)
-        (k + 1)
+        (k + 1) c.Search.elapsed
     in
-    last "ers" (Search.ers_curve oracle can ~query ~budget);
+    last "ers" (Search.ers_curve ~prober oracle can ~query ~budget);
     last "landmark"
-      (Search.hybrid_curve oracle ~vector_of:(fun v -> vectors.(v)) ~candidates:all ~query ~budget:1);
+      (Search.hybrid_curve ~prober oracle ~vector_of:(fun v -> vectors.(v)) ~candidates:all
+         ~query ~budget:1);
     last "hybrid"
-      (Search.hybrid_curve oracle ~vector_of:(fun v -> vectors.(v)) ~candidates:all ~query ~budget)
+      (Search.hybrid_curve ~prober oracle ~vector_of:(fun v -> vectors.(v)) ~candidates:all
+         ~query ~budget)
   in
   Cmd.v
     (Cmd.info "nn-search" ~doc:"Run one nearest-neighbor search with all three algorithms")
-    Term.(const run $ variant_arg $ latency_arg $ seed_arg $ scale_arg $ budget_arg)
+    Term.(
+      const run $ variant_arg $ latency_arg $ seed_arg $ scale_arg $ budget_arg
+      $ probe_window_arg)
 
 (* ---- build ---- *)
 
@@ -199,12 +215,18 @@ let build_cmd =
   let size_arg =
     Arg.(value & opt int 1024 & info [ "nodes" ] ~docv:"N" ~doc:"Overlay size.")
   in
-  let run verbose variant latency seed scale strategy size =
+  let run verbose variant latency seed scale strategy size probe_window =
     setup_logs verbose;
     let oracle = Workload.Ctx.oracle ~scale variant latency in
     let b =
       Builder.build oracle
-        { Builder.default_config with Builder.overlay_size = size / scale; strategy; seed }
+        {
+          Builder.default_config with
+          Builder.overlay_size = size / scale;
+          strategy;
+          probe = { Engine.Probe.default_config with Engine.Probe.window = probe_window };
+          seed;
+        }
     in
     let r = Measure.route_stretch b in
     Format.fprintf ppf "overlay: %d nodes, strategy %s@." (size / scale)
@@ -212,13 +234,17 @@ let build_cmd =
     Format.fprintf ppf "stretch: %a@." Prelude.Stats.pp_summary r.Measure.stretch;
     Format.fprintf ppf "hops:    %a@." Prelude.Stats.pp_summary r.Measure.hops;
     Format.fprintf ppf "neighbor quality: %a@." Prelude.Stats.pp_summary
-      (Measure.neighbor_quality b)
+      (Measure.neighbor_quality b);
+    Format.fprintf ppf "probe plane: %d probes, %.0f ms modelled wall-clock at window %d@."
+      (Engine.Probe.probes b.Builder.prober)
+      (Engine.Probe.total_elapsed b.Builder.prober)
+      probe_window
   in
   Cmd.v
     (Cmd.info "build" ~doc:"Build a topology-aware overlay and measure routing stretch")
     Term.(
       const run $ verbose_arg $ variant_arg $ latency_arg $ seed_arg $ scale_arg $ strategy_arg
-      $ size_arg)
+      $ size_arg $ probe_window_arg)
 
 (* ---- churn ---- *)
 
@@ -251,11 +277,13 @@ let churn_cmd =
          & info [ "digest-window" ] ~docv:"MS"
              ~doc:"Notification digest window in virtual ms (0 disables batching).")
   in
-  let run verbose seed scale crashes leaves joins loss staleness shards digest_window =
+  let run verbose seed scale crashes leaves joins loss staleness shards digest_window
+      probe_window =
     if loss < 0.0 || loss > 1.0 then `Error (false, "--loss must be in [0,1]")
     else if staleness < 0.0 || staleness > 1.0 then `Error (false, "--staleness must be in [0,1]")
     else if shards < 1 then `Error (false, "--shards must be >= 1")
     else if digest_window < 0.0 then `Error (false, "--digest-window must be >= 0")
+    else if probe_window < 1 then `Error (false, "--probe-window must be >= 1")
     else begin
       setup_logs verbose;
       let storm =
@@ -268,7 +296,8 @@ let churn_cmd =
         }
       in
       let channel = { Engine.Faults.loss; delay_min = 5.0; delay_max = 50.0 } in
-      Workload.Exp_churn.run_custom ~scale ~seed ~shards ~digest_window ~storm ~channel ppf;
+      Workload.Exp_churn.run_custom ~scale ~seed ~shards ~digest_window ~probe_window ~storm
+        ~channel ppf;
       `Ok ()
     end
   in
@@ -280,7 +309,7 @@ let churn_cmd =
     Term.(
       ret
         (const run $ verbose_arg $ seed_arg $ scale_arg $ crashes_arg $ leaves_arg $ joins_arg
-        $ loss_arg $ stale_arg $ shards_arg $ digest_arg))
+        $ loss_arg $ stale_arg $ shards_arg $ digest_arg $ probe_window_arg))
 
 (* ---- trace ---- *)
 

@@ -70,7 +70,7 @@ let churn oracle ~repair =
              end
              else begin
                Builder.leave_node b victim;
-               Builder.join_node b newcomer
+               ignore (Builder.join_node b newcomer)
              end)))
     joiners;
   Sim.run ~until:(float_of_int (churn_events + 4) *. 500.0) sim;

@@ -22,6 +22,7 @@ type config = {
   shards : int;
   curve : Landmark.Number.curve;
   index_dims : int;
+  probe : Engine.Probe.config;
   seed : int;
 }
 
@@ -37,8 +38,11 @@ let default_config =
     shards = 1;
     curve = Number.Hilbert_curve;
     index_dims = 3;
+    probe = Engine.Probe.default_config;
     seed = 42;
   }
+
+type join_cost = { vector_ms : float; selection_ms : float }
 
 type t = {
   config : config;
@@ -49,6 +53,7 @@ type t = {
   scheme : Number.scheme;
   members : int array;
   vectors : (int, float array) Hashtbl.t;
+  prober : Engine.Probe.t;
   rng : Rng.t;
 }
 
@@ -72,14 +77,21 @@ let lookup_probe_selector t ~rtts ~lookup_results ~lookup_ttl ~score : Ecan_exp.
        lookup's TTL reach): degrade to a blind pick. *)
     Some (Rng.pick t.rng candidates)
   | probes ->
+    (* The candidate probes form one batch through the probe plane: at
+       window 1 this is the seed's sequential measurement loop, at wider
+       windows the slot's selection cost collapses toward the max RTT. *)
+    let dsts = Array.of_list (List.map (fun (e : Store.Entry.t) -> e.Store.Entry.node) probes) in
+    let batch = Engine.Probe.run_batch t.prober ~src:node ~dsts in
     let best = ref None in
-    List.iter
-      (fun (e : Store.Entry.t) ->
-        let rtt = Oracle.measure t.oracle node e.Store.Entry.node in
-        let s = score ~rtt ~entry:e in
-        match !best with
-        | Some (bs, _) when bs <= s -> ()
-        | _ -> best := Some (s, e.Store.Entry.node))
+    List.iteri
+      (fun i (e : Store.Entry.t) ->
+        match batch.Engine.Probe.results.(i) with
+        | Error _ -> ()
+        | Ok rtt ->
+          let s = score ~rtt ~entry:e in
+          (match !best with
+          | Some (bs, _) when bs <= s -> ()
+          | _ -> best := Some (s, e.Store.Entry.node)))
       probes;
     (match !best with Some (_, n) -> Some n | None -> None)
 
@@ -125,14 +137,18 @@ let build ?metrics ?labels ?trace ?(clock = fun () -> 0.0) oracle config =
     Store.create ?metrics ?labels ?trace ~shards:config.shards ~condense:config.condense
       ~default_ttl:config.ttl ~clock ~scheme can
   in
+  let prober =
+    Engine.Probe.create ?metrics ?labels ?trace ~clock ~config:config.probe
+      ~measure:(Oracle.measure oracle) ()
+  in
   let vectors = Hashtbl.create (Array.length members) in
   Array.iter
     (fun node ->
-      let vector = Landmarks.vector landmarks node in
+      let vector = Landmarks.vector_via landmarks prober node in
       Hashtbl.replace vectors node vector;
       Store.publish_all store ~span_bits:config.span_bits ~node ~vector)
     members;
-  let t = { config; oracle; ecan; store; landmarks; scheme; members; vectors; rng } in
+  let t = { config; oracle; ecan; store; landmarks; scheme; members; vectors; prober; rng } in
   Ecan_exp.build_tables ecan ~selector:(selector t config.strategy);
   Log.info (fun m ->
       m "built overlay: %d members, %d landmarks, strategy %s" (Array.length members)
@@ -145,13 +161,17 @@ let rebuild_tables t strategy =
 
 let join_node t node =
   let can = Ecan_exp.can t.ecan in
-  let vector = Landmarks.vector t.landmarks node in
+  let e0 = Engine.Probe.total_elapsed t.prober in
+  let vector = Landmarks.vector_via t.landmarks t.prober node in
+  let e1 = Engine.Probe.total_elapsed t.prober in
   Hashtbl.replace t.vectors node vector;
   ignore (Can_overlay.join can node (Point.random t.rng t.config.dims));
   Store.rehost t.store;
   Store.publish_all t.store ~span_bits:t.config.span_bits ~node ~vector;
   Ecan_exp.build_table_for t.ecan ~selector:(selector t t.config.strategy) node;
-  Log.debug (fun m -> m "node %d joined" node)
+  let e2 = Engine.Probe.total_elapsed t.prober in
+  Log.debug (fun m -> m "node %d joined" node);
+  { vector_ms = e1 -. e0; selection_ms = e2 -. e1 }
 
 (* Table slots whose entry targets one of the relocated nodes but whose
    region no longer contains that target (zone takeover moves nodes). *)
@@ -181,6 +201,8 @@ let clear_stale_entries t relocated =
 
 let leave_node t node =
   let can = Ecan_exp.can t.ecan in
+  (* A departed node's cached RTTs must not satisfy future probes. *)
+  Engine.Probe.invalidate t.prober node;
   Store.unpublish_everywhere t.store node;
   let effect = Can_overlay.leave can node in
   Hashtbl.remove t.vectors node;

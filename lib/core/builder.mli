@@ -17,13 +17,24 @@ type config = {
   shards : int;  (** soft-state expiry shards (see {!Softstate.Store.create}) *)
   curve : Landmark.Number.curve;  (** space-filling curve for landmark numbers *)
   index_dims : int;  (** landmark-vector-index components *)
+  probe : Engine.Probe.config;
+      (** probe-plane configuration shared by every RTT measurement the
+          overlay spends (landmark vectors, per-slot selection) *)
   seed : int;
 }
 
 val default_config : config
 (** Table 2 defaults: 2-d eCAN, span 2, 4096 members, 15 landmarks,
     [Hybrid {rtts = 10}], condense 1.0, ttl 600,000 ms, 1 shard, Hilbert,
-    index_dims 3, seed 42. *)
+    index_dims 3, probe {!Engine.Probe.default_config} (sequential,
+    uncached — the seed path), seed 42. *)
+
+type join_cost = {
+  vector_ms : float;  (** modelled wall-clock of the landmark-vector batch *)
+  selection_ms : float;  (** modelled wall-clock of per-slot candidate probing *)
+}
+(** Modelled latency breakdown of one {!join_node} (the RTT-probe phases;
+    map lookups and publishes are accounted separately by the bus). *)
 
 type t = {
   config : config;
@@ -34,6 +45,9 @@ type t = {
   scheme : Landmark.Number.scheme;
   members : int array;  (** overlay member node ids (physical ids) *)
   vectors : (int, float array) Hashtbl.t;  (** member -> landmark vector *)
+  prober : Engine.Probe.t;
+      (** the shared probe plane ([config.probe]) every measurement —
+          build, join, re-selection — drains through *)
   rng : Prelude.Rng.t;  (** generator for post-build sampling *)
 }
 
@@ -65,11 +79,14 @@ val selector : t -> Strategy.t -> Ecan.Expressway.selector
 val rebuild_tables : t -> Strategy.t -> unit
 (** Re-run neighbor selection for every member under a new strategy. *)
 
-val join_node : t -> int -> unit
-(** Dynamic join of a fresh physical node: measures its landmark vector,
-    inserts it into the CAN at a random point, publishes its soft state
-    and builds its routing table under [t.config.strategy].  Existing
-    entries are rehosted to reflect the new zone map. *)
+val join_node : t -> int -> join_cost
+(** Dynamic join of a fresh physical node: measures its landmark vector
+    (one concurrent batch through the prober), inserts it into the CAN at
+    a random point, publishes its soft state and builds its routing table
+    under [t.config.strategy].  Existing entries are rehosted to reflect
+    the new zone map.  Returns the modelled probe-latency breakdown: with
+    probe window >= landmark count the vector phase costs the {e max}
+    landmark RTT instead of the sum. *)
 
 val stale_slots : t -> int list -> (int * int * int) list
 (** Table slots [(node, row, digit)] whose entry targets one of the given

@@ -237,7 +237,11 @@ let watch_all_slots_of t node =
 let node_joins t node =
   let builder = t.builder in
   let can = Ecan_exp.can builder.Builder.ecan in
-  let vector = Landmark.Landmarks.vector builder.Builder.landmarks node in
+  (* Through the shared probe plane: joins under maintenance get the same
+     concurrency window (and RTT cache) as build-time joins. *)
+  let vector =
+    Landmark.Landmarks.vector_via builder.Builder.landmarks builder.Builder.prober node
+  in
   Hashtbl.replace builder.Builder.vectors node vector;
   ignore
     (Can_overlay.join can node
@@ -273,6 +277,8 @@ let node_joins t node =
 let remove_member t node ~retract =
   let builder = t.builder in
   let can = Ecan_exp.can builder.Builder.ecan in
+  (* Dead or departed: its cached RTTs must not answer future probes. *)
+  Engine.Probe.invalidate builder.Builder.prober node;
   if retract then Bus.depart t.bus ~node;
   let effect = Can_overlay.leave can node in
   Hashtbl.remove builder.Builder.vectors node;

@@ -1,0 +1,239 @@
+type config = {
+  window : int;
+  timeout : float;
+  retries : int;
+  backoff : float;
+  cache_ttl : float;
+}
+
+let default_config =
+  { window = 1; timeout = infinity; retries = 0; backoff = 50.0; cache_ttl = 0.0 }
+
+type failure = { src : int; dst : int; attempts : int }
+
+type batch = {
+  results : (float, failure) result array;
+  started : float;
+  finished : float;
+}
+
+let elapsed b = b.finished -. b.started
+
+type instruments = {
+  i_submitted : Metrics.counter;
+  i_measured : Metrics.counter;
+  i_retries : Metrics.counter;
+  i_timeouts : Metrics.counter;
+  i_losses : Metrics.counter;
+  i_failures : Metrics.counter;
+  i_cache_hits : Metrics.counter;
+  i_cache_misses : Metrics.counter;
+  i_cache_stale : Metrics.counter;
+  i_queue_wait : Metrics.histogram;
+  i_batch_ms : Metrics.histogram;
+}
+
+type cache_entry = { rtt : float; expires : float }
+
+type t = {
+  config : config;
+  measure : int -> int -> float;
+  sim : Sim.t option;
+  clock : unit -> float;
+  faults : Faults.t option;
+  cache : (int * int, cache_entry) Hashtbl.t;
+  obs : instruments option;
+  tracer : Trace.t option;
+  mutable probes : int;
+  mutable failures : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_stale : int;
+  mutable total_elapsed : float;
+}
+
+let create ?metrics ?(labels = []) ?trace ?faults ?sim ?clock
+    ?(config = default_config) ~measure () =
+  if config.window < 1 then invalid_arg "Probe.create: window must be >= 1";
+  if not (config.timeout > 0.0) then invalid_arg "Probe.create: timeout must be positive";
+  if config.retries < 0 then invalid_arg "Probe.create: retries must be >= 0";
+  if config.backoff < 0.0 then invalid_arg "Probe.create: backoff must be >= 0";
+  if config.cache_ttl < 0.0 then invalid_arg "Probe.create: cache_ttl must be >= 0";
+  let clock =
+    match (clock, sim) with
+    | Some c, _ -> c
+    | None, Some sim -> fun () -> Sim.now sim
+    | None, None -> fun () -> 0.0
+  in
+  let obs =
+    Option.map
+      (fun m ->
+        {
+          i_submitted = Metrics.counter m ~labels "probe_submitted";
+          i_measured = Metrics.counter m ~labels "probe_measured";
+          i_retries = Metrics.counter m ~labels "probe_retries";
+          i_timeouts = Metrics.counter m ~labels "probe_timeouts";
+          i_losses = Metrics.counter m ~labels "probe_losses";
+          i_failures = Metrics.counter m ~labels "probe_failures";
+          i_cache_hits = Metrics.counter m ~labels "probe_cache_hits";
+          i_cache_misses = Metrics.counter m ~labels "probe_cache_misses";
+          i_cache_stale = Metrics.counter m ~labels "probe_cache_stale";
+          i_queue_wait = Metrics.histogram m ~labels "probe_queue_wait";
+          i_batch_ms = Metrics.histogram m ~labels "probe_batch_ms";
+        })
+      metrics
+  in
+  {
+    config;
+    measure;
+    sim;
+    clock;
+    faults;
+    cache = Hashtbl.create 256;
+    obs;
+    tracer = trace;
+    probes = 0;
+    failures = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_stale = 0;
+    total_elapsed = 0.0;
+  }
+
+let config t = t.config
+
+let obs_incr t f = match t.obs with Some o -> Metrics.incr (f o) | None -> ()
+let obs_observe t f v = match t.obs with Some o -> Metrics.observe (f o) v | None -> ()
+
+(* The cache is keyed directionally: re-probing the same destination from
+   the same source is the reuse pattern (selection and maintenance re-rank
+   the same candidates), and a directional key never assumes the
+   measurement function is symmetric. *)
+let cache_find t ~src ~dst ~now =
+  if t.config.cache_ttl <= 0.0 then None
+  else begin
+    match Hashtbl.find_opt t.cache (src, dst) with
+    | Some e when e.expires > now ->
+      t.cache_hits <- t.cache_hits + 1;
+      obs_incr t (fun o -> o.i_cache_hits);
+      Some e.rtt
+    | Some _ ->
+      t.cache_stale <- t.cache_stale + 1;
+      t.cache_misses <- t.cache_misses + 1;
+      obs_incr t (fun o -> o.i_cache_stale);
+      obs_incr t (fun o -> o.i_cache_misses);
+      None
+    | None ->
+      t.cache_misses <- t.cache_misses + 1;
+      obs_incr t (fun o -> o.i_cache_misses);
+      None
+  end
+
+let cache_store t ~src ~dst ~at rtt =
+  if t.config.cache_ttl > 0.0 then
+    Hashtbl.replace t.cache (src, dst) { rtt; expires = at +. t.config.cache_ttl }
+
+let invalidate t node =
+  let doomed =
+    Hashtbl.fold
+      (fun ((a, b) as k) _ acc -> if a = node || b = node then k :: acc else acc)
+      t.cache []
+  in
+  List.iter (Hashtbl.remove t.cache) doomed
+
+(* One probe's attempt schedule starting when its window slot frees at
+   [at]: measure, let the channel decide the attempt's fate, and either
+   complete or burn the timeout + backoff and try again.  Returns the
+   outcome together with the slot's release time and the attempts spent. *)
+let run_attempts t ~src ~dst ~at =
+  let cfg = t.config in
+  (* A lost probe with an infinite timeout would never be detected; model
+     detection as instant so the schedule stays finite. *)
+  let detect = if Float.is_finite cfg.timeout then cfg.timeout else 0.0 in
+  let rec go k at =
+    let rtt = t.measure src dst in
+    obs_incr t (fun o -> o.i_measured);
+    let fate =
+      match t.faults with None -> Some rtt | Some f -> Faults.perturb f rtt
+    in
+    match fate with
+    | Some d when d <= cfg.timeout -> (Ok d, at +. d, k)
+    | fate ->
+      (match fate with
+      | None -> obs_incr t (fun o -> o.i_losses)
+      | Some _ -> obs_incr t (fun o -> o.i_timeouts));
+      let at = at +. detect in
+      if k > cfg.retries then (Error { src; dst; attempts = k }, at, k)
+      else begin
+        obs_incr t (fun o -> o.i_retries);
+        go (k + 1) (at +. (cfg.backoff *. (2.0 ** float_of_int (k - 1))))
+      end
+  in
+  go 1 at
+
+let run_batch t ~src ~dsts =
+  let start = t.clock () in
+  let n = Array.length dsts in
+  let results = Array.make n (Error { src; dst = -1; attempts = 0 }) in
+  let w = max 1 (min t.config.window (max n 1)) in
+  let slots = Array.make w start in
+  let finished = ref start in
+  Array.iteri
+    (fun j dst ->
+      t.probes <- t.probes + 1;
+      obs_incr t (fun o -> o.i_submitted);
+      match cache_find t ~src ~dst ~now:start with
+      | Some rtt ->
+        (* Served from memory: no slot, no time, no measurement. *)
+        results.(j) <- Ok rtt
+      | None ->
+        let si = ref 0 in
+        for i = 1 to w - 1 do
+          if slots.(i) < slots.(!si) then si := i
+        done;
+        let slot_start = slots.(!si) in
+        obs_observe t (fun o -> o.i_queue_wait) (slot_start -. start);
+        let outcome, slot_end, attempts = run_attempts t ~src ~dst ~at:slot_start in
+        (match outcome with
+        | Ok rtt ->
+          cache_store t ~src ~dst ~at:slot_end rtt;
+          Option.iter
+            (fun tr ->
+              Trace.emit tr ~at:slot_start ~dur:rtt ~peer:dst
+                ~note:(Printf.sprintf "q=%g;try=%d" (slot_start -. start) attempts)
+                Trace.Rtt_probe ~node:src)
+            t.tracer
+        | Error _ ->
+          t.failures <- t.failures + 1;
+          obs_incr t (fun o -> o.i_failures));
+        results.(j) <- outcome;
+        slots.(!si) <- slot_end;
+        if slot_end > !finished then finished := slot_end)
+    dsts;
+  obs_observe t (fun o -> o.i_batch_ms) (!finished -. start);
+  t.total_elapsed <- t.total_elapsed +. (!finished -. start);
+  { results; started = start; finished = !finished }
+
+let rtt t ~src ~dst = (run_batch t ~src ~dsts:[| dst |]).results.(0)
+
+let the_sim t =
+  match t.sim with
+  | Some sim -> sim
+  | None -> invalid_arg "Probe.submit: prober has no simulation"
+
+let submit_batch t ~src ~dsts k =
+  let sim = the_sim t in
+  let b = run_batch t ~src ~dsts in
+  ignore (Sim.schedule sim ~delay:(elapsed b) (fun () -> k b))
+
+let submit t ~src ~dst k =
+  let sim = the_sim t in
+  let b = run_batch t ~src ~dsts:[| dst |] in
+  ignore (Sim.schedule sim ~delay:(elapsed b) (fun () -> k b.results.(0)))
+
+let probes t = t.probes
+let failures t = t.failures
+let cache_hits t = t.cache_hits
+let cache_misses t = t.cache_misses
+let cache_stale t = t.cache_stale
+let total_elapsed t = t.total_elapsed

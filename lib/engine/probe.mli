@@ -1,0 +1,133 @@
+(** Asynchronous RTT probe plane.
+
+    Every RTT measurement a node spends — landmark-vector probing at join,
+    per-slot candidate selection, nearest-neighbor search — goes through a
+    {e prober}: a simulated-time subsystem that owns the measurement
+    function and models what issuing those probes over a real network
+    costs in wall-clock time.
+
+    A prober admits probes through a configurable {e concurrency window}
+    of [window] in-flight probes per submitted operation; probes beyond
+    the window queue FIFO and start as slots free up.  Each attempt is
+    subject to an optional per-probe [timeout] and an optional lossy/slow
+    channel ({!Faults.perturb}); failed attempts are retried up to
+    [retries] times with deterministic exponential backoff, and retry
+    exhaustion surfaces as a typed [Error].  Successful measurements can
+    be remembered in a TTL'd per-[(src, dst)] RTT cache with hit/miss/
+    stale accounting.
+
+    Timing is modelled, not executed: a batch submitted at virtual time
+    [t] deterministically computes each member's completion time from the
+    measured RTTs, the window occupancy, and the timeout/backoff schedule.
+    With [window >= n] a batch of [n] probes completes at [t + max rtt];
+    with [window = 1] it degenerates to the sequential path ([t + sum]) —
+    byte-identical results, measurement count and order to calling the
+    measurement function in a loop, which is the seed behaviour every
+    default-configured consumer preserves.
+
+    Determinism rules: measurement order is the submission (FIFO) order,
+    slot assignment ties resolve to the lowest slot index, and all
+    channel randomness comes from the injector's seeded stream — the same
+    seed replays the same batch timings byte for byte. *)
+
+type config = {
+  window : int;  (** concurrent in-flight probes per operation, >= 1 *)
+  timeout : float;
+      (** per-attempt timeout (ms, > 0); [infinity] = wait forever *)
+  retries : int;  (** extra attempts after the first, >= 0 *)
+  backoff : float;
+      (** backoff before retry [k] (1-based) is [backoff *. 2. ** (k - 1)] ms *)
+  cache_ttl : float;  (** RTT cache entry lifetime (ms); 0 disables the cache *)
+}
+
+val default_config : config
+(** [window = 1], [timeout = infinity], [retries = 0], [backoff = 50.0],
+    [cache_ttl = 0.0] — the seed's sequential, uncached, reliable path. *)
+
+type failure = {
+  src : int;
+  dst : int;
+  attempts : int;  (** attempts spent, [retries + 1] on exhaustion *)
+}
+(** Retry exhaustion: every attempt was lost or timed out. *)
+
+type batch = {
+  results : (float, failure) result array;
+      (** per-destination outcome, in submission order; [Ok rtt] is the
+          measured (possibly channel-delayed) round-trip time *)
+  started : float;  (** virtual time the batch was submitted *)
+  finished : float;
+      (** virtual time the last member completed; [max] over members, so a
+          batch that fits the window finishes at [started + max rtt] *)
+}
+
+val elapsed : batch -> float
+(** [finished -. started]. *)
+
+type t
+
+val create :
+  ?metrics:Metrics.t ->
+  ?labels:Metrics.labels ->
+  ?trace:Trace.t ->
+  ?faults:Faults.t ->
+  ?sim:Sim.t ->
+  ?clock:(unit -> float) ->
+  ?config:config ->
+  measure:(int -> int -> float) -> unit -> t
+(** Fresh prober around a measurement function (typically
+    [Topology.Oracle.measure oracle], so probes keep feeding the oracle's
+    measurement-budget counter).
+
+    [faults] perturbs each attempt through {!Faults.perturb} (loss and
+    extra delay).  [sim] enables {!submit}/{!submit_batch} and provides
+    the default clock; [clock] overrides it (default: frozen at 0).
+    With [metrics], the prober maintains [probe_*] counters and the
+    [probe_queue_wait]/[probe_batch_ms] histograms; with [trace], each
+    fresh measurement emits an [rtt_probe] span whose note carries the
+    queue wait and attempt count ([q=<ms>;try=<n>]).
+
+    Raises [Invalid_argument] on out-of-range config fields. *)
+
+val config : t -> config
+
+val run_batch : t -> src:int -> dsts:int array -> batch
+(** Synchronously measure [src]'s RTT to every destination, modelling the
+    batch's wall-clock cost under the window/timeout/retry schedule.  The
+    measurements happen now (in submission order, cache hits excepted);
+    the returned {!batch} carries the modelled completion time.  Cache
+    hits resolve instantly without occupying a window slot. *)
+
+val rtt : t -> src:int -> dst:int -> (float, failure) result
+(** One-probe {!run_batch}. *)
+
+val submit : t -> src:int -> dst:int -> ((float, failure) result -> unit) -> unit
+(** Asynchronous probe: the callback fires on the prober's simulation at
+    the probe's modelled completion time.  Raises [Invalid_argument] if
+    the prober has no [sim]. *)
+
+val submit_batch : t -> src:int -> dsts:int array -> (batch -> unit) -> unit
+(** Asynchronous {!run_batch}: the callback fires at [batch.finished]. *)
+
+val probes : t -> int
+(** Probes submitted so far (cache hits included). *)
+
+val failures : t -> int
+(** Probes that exhausted their retries. *)
+
+val cache_hits : t -> int
+val cache_misses : t -> int
+
+val cache_stale : t -> int
+(** Cache lookups that found only an expired entry (counted on top of the
+    miss that re-measures). *)
+
+val invalidate : t -> int -> unit
+(** Drop every cached RTT touching the given node (either endpoint) —
+    call when a node leaves or crashes so its RTTs cannot be served
+    stale-fresh. *)
+
+val total_elapsed : t -> float
+(** Sum of modelled batch wall-clock times over every synchronous
+    {!run_batch}/{!rtt} so far.  Consumers bracket an operation with two
+    reads to attribute modelled latency to it (e.g. a node join). *)

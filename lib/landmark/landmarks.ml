@@ -16,6 +16,12 @@ let oracle t = t.oracle
 
 let vector t node = Array.map (fun lm -> Topology.Oracle.measure t.oracle node lm) t.nodes
 
+let vector_via t prober node =
+  let batch = Engine.Probe.run_batch prober ~src:node ~dsts:t.nodes in
+  Array.map
+    (function Ok rtt -> rtt | Error _ -> Float.infinity)
+    batch.Engine.Probe.results
+
 let ordering vec =
   let idx = Array.init (Array.length vec) (fun i -> i) in
   Array.sort (fun a b -> compare (vec.(a), a) (vec.(b), b)) idx;

@@ -23,7 +23,19 @@ val oracle : t -> Topology.Oracle.t
 val vector : t -> int -> float array
 (** [vector t node] is the node's landmark vector (RTT to each landmark,
     in landmark order).  Each call performs [count t] RTT measurements
-    (counted by the oracle's measurement counter). *)
+    (counted by the oracle's measurement counter), issued sequentially. *)
+
+val vector_via : t -> Engine.Probe.t -> int -> float array
+(** Same vector, but the [count t] probes go through the probe plane as
+    one batch, so their wall-clock cost is modelled under the prober's
+    concurrency window (completion = max RTT when the window covers the
+    landmark set).  The prober must wrap this landmark set's oracle
+    ([Engine.Probe.create ~measure:(Topology.Oracle.measure (oracle t))]).
+    A probe that exhausts its retries yields [infinity] in that component
+    (the landmark looks unreachable, i.e. maximally far).  With the
+    default prober configuration (window 1, no cache, reliable channel)
+    the result, measurement count and measurement order are identical to
+    {!vector}. *)
 
 val ordering : float array -> int array
 (** [ordering vec] is the landmark-ordering representation used by

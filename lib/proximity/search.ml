@@ -1,8 +1,9 @@
 module Oracle = Topology.Oracle
 module Can_overlay = Can.Overlay
 module Landmarks = Landmark.Landmarks
+module Probe = Engine.Probe
 
-type curve = { found : int array; dist : float array }
+type curve = { found : int array; dist : float array; elapsed : float }
 
 type obs = { n_probes : Engine.Metrics.counter; tracer : Engine.Trace.t option }
 
@@ -14,6 +15,8 @@ let make_obs ?metrics ?(labels = []) ?trace ~algo () =
         tracer = trace;
       })
     metrics
+
+let count_probe obs = match obs with None -> () | Some o -> Engine.Metrics.incr o.n_probes
 
 let observe_probe obs ~query node d =
   match obs with
@@ -29,43 +32,82 @@ let true_nearest oracle ~query ~candidates =
   | Some (node, d) -> (node, d)
   | None -> invalid_arg "Search.true_nearest: no candidate besides the query"
 
-(* Fold a probe sequence into a best-so-far curve, spending at most
-   [budget] measurements. *)
-let curve_of_probes ?obs oracle ~query ~budget probes =
+let rec take k = function
+  | x :: rest when k > 0 -> x :: take (k - 1) rest
+  | _ -> []
+
+(* Fold a sequence of probe batches into a best-so-far curve, spending at
+   most [budget] measurements.  Batches model message phases: without a
+   prober they are simply flattened into the seed's sequential measurement
+   loop; with one, each batch drains through the probe plane (results and
+   measurement order are identical — the plane only adds the modelled
+   wall-clock, accumulated into [curve.elapsed]).  A probe the plane fails
+   (retry exhaustion under an injected channel) still spends budget but
+   cannot improve the best-so-far. *)
+let curve_of_batches ?obs ?prober oracle ~query ~budget batches =
   let found = ref [] and dist = ref [] in
   let best_node = ref (-1) and best_dist = ref infinity in
-  let spent = ref 0 in
-  let probe node =
-    if !spent < budget then begin
-      incr spent;
-      let d = Oracle.measure oracle query node in
-      observe_probe obs ~query node d;
+  let spent = ref 0 and wall = ref 0.0 in
+  let record node = function
+    | Some d ->
       if d < !best_dist then begin
         best_dist := d;
         best_node := node
       end;
       found := !best_node :: !found;
       dist := !best_dist :: !dist
-    end
+    | None ->
+      found := !best_node :: !found;
+      dist := !best_dist :: !dist
   in
-  List.iter probe probes;
-  { found = Array.of_list (List.rev !found); dist = Array.of_list (List.rev !dist) }
+  List.iter
+    (fun batch ->
+      let batch = if !spent >= budget then [] else take (budget - !spent) batch in
+      match (batch, prober) with
+      | [], _ -> ()
+      | batch, None ->
+        List.iter
+          (fun node ->
+            incr spent;
+            let d = Oracle.measure oracle query node in
+            wall := !wall +. d;
+            observe_probe obs ~query node d;
+            record node (Some d))
+          batch
+      | batch, Some p ->
+        let b = Probe.run_batch p ~src:query ~dsts:(Array.of_list batch) in
+        wall := !wall +. Probe.elapsed b;
+        List.iteri
+          (fun i node ->
+            incr spent;
+            count_probe obs;
+            match b.Probe.results.(i) with
+            | Ok d -> record node (Some d)
+            | Error _ -> record node None)
+          batch)
+    batches;
+  {
+    found = Array.of_list (List.rev !found);
+    dist = Array.of_list (List.rev !dist);
+    elapsed = !wall;
+  }
 
-let ers_curve ?metrics ?labels ?trace oracle can ~query ~budget =
+let ers_curve ?metrics ?labels ?trace ?prober oracle can ~query ~budget =
   if not (Can_overlay.mem can query) then invalid_arg "Search.ers_curve: query not a member";
   if budget < 1 then invalid_arg "Search.ers_curve: budget must be >= 1";
   let obs = make_obs ?metrics ?labels ?trace ~algo:"ers" () in
-  (* Breadth-first rings over the CAN neighbor graph. *)
+  (* Breadth-first rings over the CAN neighbor graph; each ring is one
+     batch (its members are known before any of them is probed). *)
   let visited = Hashtbl.create 64 in
   Hashtbl.replace visited query ();
-  let probes = ref [] in
+  let batches = ref [] in
   let collected = ref 0 in
   let ring = ref (List.sort compare (Can_overlay.node can query).Can_overlay.neighbors) in
   List.iter (fun v -> Hashtbl.replace visited v ()) !ring;
   while !collected < budget && !ring <> [] do
-    let take = min (budget - !collected) (List.length !ring) in
-    List.iteri (fun i v -> if i < take then probes := v :: !probes) !ring;
-    collected := !collected + take;
+    let take_n = min (budget - !collected) (List.length !ring) in
+    batches := take take_n !ring :: !batches;
+    collected := !collected + take_n;
     if !collected < budget then begin
       let next =
         List.concat_map
@@ -78,10 +120,10 @@ let ers_curve ?metrics ?labels ?trace oracle can ~query ~budget =
       ring := next
     end
   done;
-  curve_of_probes ?obs oracle ~query ~budget (List.rev !probes)
+  curve_of_batches ?obs ?prober oracle ~query ~budget (List.rev !batches)
 
-let ranked_curve ?metrics ?labels ?trace ?(algo = "ranked") oracle ~score ~candidates ~query
-    ~budget =
+let ranked_curve ?metrics ?labels ?trace ?prober ?(algo = "ranked") oracle ~score ~candidates
+    ~query ~budget =
   if budget < 1 then invalid_arg "Search.ranked_curve: budget must be >= 1";
   let obs = make_obs ?metrics ?labels ?trace ~algo () in
   let ranked =
@@ -92,12 +134,14 @@ let ranked_curve ?metrics ?labels ?trace ?(algo = "ranked") oracle ~score ~candi
     |> List.sort compare
     |> List.map snd
   in
-  curve_of_probes ?obs oracle ~query ~budget ranked
+  (* Pre-selection knows the whole ranking up front: the probes form a
+     single batch. *)
+  curve_of_batches ?obs ?prober oracle ~query ~budget [ take budget ranked ]
 
-let hybrid_curve ?metrics ?labels ?trace oracle ~vector_of ~candidates ~query ~budget =
+let hybrid_curve ?metrics ?labels ?trace ?prober oracle ~vector_of ~candidates ~query ~budget =
   if budget < 1 then invalid_arg "Search.hybrid_curve: budget must be >= 1";
   let qvec = vector_of query in
-  ranked_curve ?metrics ?labels ?trace ~algo:"hybrid" oracle
+  ranked_curve ?metrics ?labels ?trace ?prober ~algo:"hybrid" oracle
     ~score:(fun c -> Landmarks.vector_dist qvec (vector_of c))
     ~candidates ~query ~budget
 
@@ -110,11 +154,12 @@ let hill_climb_curve ?metrics ?labels ?trace oracle can ~query ~budget =
      costs one measurement.  Stops at local minima. *)
   let found = ref [] and dist = ref [] in
   let best_node = ref (-1) and best_dist = ref infinity in
-  let spent = ref 0 in
+  let spent = ref 0 and wall = ref 0.0 in
   let probe node =
     if !spent < budget then begin
       incr spent;
       let d = Oracle.measure oracle query node in
+      wall := !wall +. d;
       observe_probe obs ~query node d;
       if d < !best_dist then begin
         best_dist := d;
@@ -150,7 +195,11 @@ let hill_climb_curve ?metrics ?labels ?trace oracle can ~query ~budget =
     end
   in
   climb query infinity;
-  { found = Array.of_list (List.rev !found); dist = Array.of_list (List.rev !dist) }
+  {
+    found = Array.of_list (List.rev !found);
+    dist = Array.of_list (List.rev !dist);
+    elapsed = !wall;
+  }
 
 let stretch_curve { dist; _ } ~optimal =
   Array.map

@@ -16,6 +16,11 @@
 type curve = {
   found : int array;  (** [found.(i)]: best node after [i+1] measurements *)
   dist : float array;  (** physical distance to [found.(i)] *)
+  elapsed : float;
+      (** modelled wall-clock cost (ms) of the probes: the sum of measured
+          RTTs on the direct sequential path, the probe plane's batch
+          schedule when drained through [?prober] (a window-1 prober
+          prices identically to the sequential path) *)
 }
 (** Best-so-far trajectory; both arrays have length = measurements
     actually spent (at most the budget). *)
@@ -28,6 +33,7 @@ val ers_curve :
   ?metrics:Engine.Metrics.t ->
   ?labels:Engine.Metrics.labels ->
   ?trace:Engine.Trace.t ->
+  ?prober:Engine.Probe.t ->
   Topology.Oracle.t ->
   Can.Overlay.t ->
   query:int ->
@@ -42,12 +48,21 @@ val ers_curve :
     [metrics], each RTT measurement increments an [rtt_probes] counter
     labeled [algo=<algorithm>] plus any extra [labels]; with [trace],
     each measurement emits an [Rtt_probe] span (node = query, peer =
-    probed node, dur = measured RTT). *)
+    probed node, dur = measured RTT).
+
+    With [prober], measurements drain through the probe plane instead of
+    hitting the oracle directly: each breadth-first ring (one batch for
+    the pre-selection searches) is issued concurrently under the prober's
+    window, and the modelled wall-clock accumulates into [curve.elapsed].
+    Budget accounting, probe order and probed values are unchanged for
+    any window, so the curve itself is identical — the plane only prices
+    it.  The prober must wrap the same oracle. *)
 
 val hybrid_curve :
   ?metrics:Engine.Metrics.t ->
   ?labels:Engine.Metrics.labels ->
   ?trace:Engine.Trace.t ->
+  ?prober:Engine.Probe.t ->
   Topology.Oracle.t ->
   vector_of:(int -> float array) ->
   candidates:int array ->
@@ -63,6 +78,7 @@ val ranked_curve :
   ?metrics:Engine.Metrics.t ->
   ?labels:Engine.Metrics.labels ->
   ?trace:Engine.Trace.t ->
+  ?prober:Engine.Probe.t ->
   ?algo:string ->
   Topology.Oracle.t ->
   score:(int -> float) ->

@@ -94,7 +94,7 @@ let nearest t u candidates =
       if c <> u then begin
         let d = dist t u c in
         match !best with
-        | Some (_, bd) when bd <= d -> ()
+        | Some (bc, bd) when bd < d || (bd = d && bc <= c) -> ()
         | _ -> best := Some (c, d)
       end)
     candidates;

@@ -44,4 +44,10 @@ val reset_measurements : t -> unit
 val nearest : t -> int -> int array -> (int * float) option
 (** [nearest o u candidates] is the candidate (with its distance) closest
     to [u], excluding [u] itself; [None] when no other candidate exists.
-    Not counted as measurements (ground truth). *)
+    Not counted as measurements (ground truth).
+
+    Deterministic tie-breaking guarantee: among equally-near candidates
+    the one with the {e smallest node id} wins, independent of the order
+    of the [candidates] array — so optimal-baseline selections are stable
+    across candidate enumeration orders (ties are common under the manual
+    latency model's small integer link weights). *)

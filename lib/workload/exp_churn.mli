@@ -58,6 +58,7 @@ val ecan_outcomes :
   ?channel:Engine.Faults.channel ->
   ?shards:int ->
   ?digest_window:float ->
+  ?probe_window:int ->
   Topology.Oracle.t ->
   outcome * outcome
 (** Drive an eCAN (with pub/sub repair, liveness polling, TTL sweeps and
@@ -67,7 +68,9 @@ val ecan_outcomes :
     (default 1) shards the soft-state store's TTL machinery
     ({!Softstate.Store.create}); [digest_window] (default 0, i.e. off)
     batches notifications into per-(subscriber, region) digests
-    ({!Pubsub.Bus.create}). *)
+    ({!Pubsub.Bus.create}); [probe_window] (default 1, i.e. sequential)
+    sets the probe plane's concurrency ({!Engine.Probe}) — it changes
+    modelled probe wall-clock only, never which probes are sent. *)
 
 val chord_outcome :
   ?size:int -> ?seed:int -> ?storm:Engine.Faults.storm -> Topology.Oracle.t -> outcome
@@ -87,6 +90,7 @@ val run_custom :
   ?seed:int ->
   ?shards:int ->
   ?digest_window:float ->
+  ?probe_window:int ->
   storm:Engine.Faults.storm ->
   channel:Engine.Faults.channel ->
   Format.formatter ->

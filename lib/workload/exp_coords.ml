@@ -20,13 +20,24 @@ let run ?(scale = 1) ppf =
   let nodes = Rng.sample rng size all in
   let lms = Landmarks.choose rng oracle landmark_count in
   let embedding = Coordinates.embed_landmarks rng oracle (Landmarks.nodes lms) in
+  (* Drain the landmark probes through a full-width probe plane: the
+     vectors are identical to the sequential path, the plane just prices
+     each batch at the slowest member RTT instead of the sum. *)
+  let prober =
+    Engine.Probe.create
+      ~config:{ Engine.Probe.default_config with Engine.Probe.window = landmark_count }
+      ~measure:(Oracle.measure oracle) ()
+  in
   let vectors = Hashtbl.create size and coords = Hashtbl.create size in
   Array.iter
     (fun node ->
-      let v = Landmarks.vector lms node in
+      let v = Landmarks.vector_via lms prober node in
       Hashtbl.replace vectors node v;
       Hashtbl.replace coords node (Coordinates.position ~iterations:200 embedding rng ~measured:v))
     nodes;
+  Format.fprintf ppf
+    "@.  %d landmark vectors measured concurrently: %.0f ms modelled wall-clock (sequential would sum every RTT)@."
+    size (Engine.Probe.total_elapsed prober);
   (* 1. raw estimation accuracy over random pairs *)
   let errors =
     Array.init estimate_pairs (fun _ ->

@@ -53,7 +53,7 @@ let run ?(scale = 1) ppf =
     find 0
   in
   Oracle.reset_measurements oracle;
-  Builder.join_node b joiner;
+  let join_cost = Builder.join_node b joiner in
   let rtt_messages = Oracle.measurements oracle in
   let regions = List.length (Softstate.Store.regions_of b.Builder.store joiner) in
   let slots = Ecan_exp.table_size b.Builder.ecan joiner in
@@ -79,4 +79,11 @@ let run ?(scale = 1) ppf =
     \  per-slot selection), %d map publishes, %d expressway slots filled via@.\
     \  %d map lookups averaging %.1f overlay hops each.@."
     size rtt_messages regions slots !lookups
-    (if !lookups = 0 then 0.0 else float_of_int !lookup_hops /. float_of_int !lookups)
+    (if !lookups = 0 then 0.0 else float_of_int !lookup_hops /. float_of_int !lookups);
+  (* Probe-plane pricing of the same join: at the default window of 1 the
+     probes are sequential, so the wall-clock is the sum of their RTTs —
+     the `join` experiment shows the concurrent-window collapse. *)
+  Format.fprintf ppf
+    "  Modelled join wall-clock at probe window 1: %.1f ms landmark vector +@.\
+    \  %.1f ms slot selection (see the `join` experiment for wider windows).@."
+    join_cost.Builder.vector_ms join_cost.Builder.selection_ms

@@ -29,6 +29,7 @@ let all =
     entry "optim" "Section 5.5: optimisations and curve ablations" Exp_optim.run;
     entry "qos" "Section 6: load-aware neighbor selection" Exp_qos.run;
     entry "cost" "Messaging cost: probes to target stretch vs soft-state join" Exp_cost.run;
+    entry "join" "Join latency: concurrent landmark probing through the probe plane" Exp_join.run;
     entry "waxman" "Robustness: flat Waxman topology (no hierarchy)" Exp_waxman.run;
     entry "churn" "Robustness: churn & fault storms, soft-state repair (all overlays)"
       (fun ?scale ppf -> Exp_churn.run ?scale ppf);

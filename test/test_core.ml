@@ -137,7 +137,7 @@ let test_dynamic_join_leave () =
     if not (Hashtbl.mem member_set !i) then fresh := !i :: !fresh;
     incr i
   done;
-  List.iter (fun node -> Builder.join_node b node) !fresh;
+  List.iter (fun node -> ignore (Builder.join_node b node)) !fresh;
   Alcotest.(check int) "grown" 125 (Can_overlay.size can);
   Alcotest.(check bool) "store consistent after joins" true
     (Store.check_invariants b.Builder.store = Ok ());
@@ -287,6 +287,43 @@ let test_maintenance_adopts_newcomers () =
     (Store.check_invariants b.Builder.store = Ok ());
   Maintenance.stop m
 
+let test_join_cost_windows () =
+  (* The probe plane prices a join's landmark-vector phase as the sum of
+     landmark RTTs at window 1 and as the single slowest RTT at window L;
+     the join itself (membership, vectors, tables) is window-invariant. *)
+  let o = Lazy.force oracle in
+  let join_with window =
+    let config =
+      {
+        (small_config (Strategy.hybrid ~rtts:5 ())) with
+        Builder.probe = { Engine.Probe.default_config with Engine.Probe.window };
+      }
+    in
+    let b = Builder.build o config in
+    let can = Ecan_exp.can b.Builder.ecan in
+    let joiner =
+      let rec find i = if Can_overlay.mem can i then find (i + 1) else i in
+      find 0
+    in
+    Oracle.reset_measurements o;
+    let cost = Builder.join_node b joiner in
+    (b, joiner, cost, Oracle.measurements o)
+  in
+  let lcount = (small_config Strategy.Random_pick).Builder.landmark_count in
+  let b1, joiner, seq, probes1 = join_with 1 in
+  let _, joiner', con, probes2 = join_with lcount in
+  Alcotest.(check int) "same joiner" joiner joiner';
+  Alcotest.(check int) "same probe count at any window" probes1 probes2;
+  let lms = Landmark.Landmarks.nodes b1.Builder.landmarks in
+  let sum = Array.fold_left (fun a l -> a +. Oracle.dist o joiner l) 0.0 lms in
+  let max_rtt = Array.fold_left (fun a l -> Float.max a (Oracle.dist o joiner l)) 0.0 lms in
+  Alcotest.(check (float 1e-9)) "window 1 vector phase = sum of landmark RTTs" sum
+    seq.Builder.vector_ms;
+  Alcotest.(check (float 1e-9)) "window L vector phase = max landmark RTT" max_rtt
+    con.Builder.vector_ms;
+  Alcotest.(check bool) "selection phase never slower at window L" true
+    (con.Builder.selection_ms <= seq.Builder.selection_ms)
+
 let suite =
   [
     Alcotest.test_case "build basics" `Quick test_build_basics;
@@ -306,4 +343,5 @@ let suite =
     Alcotest.test_case "liveness polling retracts dead state" `Quick
       test_liveness_polling_retracts_dead_entries;
     Alcotest.test_case "strategy validation" `Quick test_strategy_validation;
+    Alcotest.test_case "join cost vs probe window" `Quick test_join_cost_windows;
   ]

@@ -5,6 +5,7 @@ let () =
       ("geometry", Test_geometry.suite);
       ("topology", Test_topology.suite);
       ("engine", Test_engine.suite);
+      ("probe", Test_probe.suite);
       ("metrics", Test_metrics.suite);
       ("landmark", Test_landmark.suite);
       ("can", Test_can.suite);

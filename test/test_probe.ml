@@ -1,0 +1,232 @@
+(* Tests for the probe plane: window queueing arithmetic, the window-1
+   sequential-equivalence contract, retries/timeouts, the TTL'd RTT cache
+   and the async submission path. *)
+
+module Probe = Engine.Probe
+module Sim = Engine.Sim
+module Faults = Engine.Faults
+module Metrics = Engine.Metrics
+module Oracle = Topology.Oracle
+module Ts = Topology.Transit_stub
+module Landmarks = Landmark.Landmarks
+module Rng = Prelude.Rng
+
+let cfg ?(window = 1) ?(timeout = infinity) ?(retries = 0) ?(backoff = 50.0) ?(cache_ttl = 0.0)
+    () =
+  { Probe.window; timeout; retries; backoff; cache_ttl }
+
+(* Synthetic measurement function: deterministic per-pair RTT plus a log
+   of every call, so tests can check order and count byte for byte. *)
+let synthetic () =
+  let log = ref [] in
+  let measure src dst =
+    log := (src, dst) :: !log;
+    float_of_int (((src * 31) + (dst * 7)) mod 23 + 1)
+  in
+  (measure, fun () -> List.rev !log)
+
+let ok = function Ok v -> v | Error _ -> Alcotest.fail "expected Ok"
+
+let test_window1_matches_sequential () =
+  let measure, calls = synthetic () in
+  let p = Probe.create ~measure () in
+  let dsts = [| 3; 1; 4; 1; 5; 9; 2; 6 |] in
+  let b = Probe.run_batch p ~src:7 ~dsts in
+  (* Reference: the seed behaviour — call the measurement function in a
+     plain loop over the same destinations. *)
+  let ref_measure, ref_calls = synthetic () in
+  let expected = Array.map (fun d -> ref_measure 7 d) dsts in
+  Alcotest.(check (array (float 0.0))) "same values in same order" expected
+    (Array.map ok b.Probe.results);
+  Alcotest.(check (list (pair int int))) "same measurement call sequence" (ref_calls ())
+    (calls ());
+  Alcotest.(check (float 1e-9)) "window 1 prices the sum"
+    (Array.fold_left ( +. ) 0.0 expected)
+    (Probe.elapsed b)
+
+let test_wide_window_prices_max () =
+  let measure _ dst = float_of_int dst in
+  let p = Probe.create ~config:(cfg ~window:10 ()) ~measure () in
+  let b = Probe.run_batch p ~src:0 ~dsts:[| 10; 30; 20 |] in
+  Alcotest.(check (array (float 0.0))) "results unchanged" [| 10.0; 30.0; 20.0 |]
+    (Array.map ok b.Probe.results);
+  Alcotest.(check (float 1e-9)) "batch finishes at the max RTT" 30.0 (Probe.elapsed b)
+
+let test_window2_queueing () =
+  (* rtts 10,20,30 through 2 slots: d0 on slot a (ends 10), d1 on slot b
+     (ends 20), d2 re-uses slot a at 10 and ends at 40. *)
+  let measure _ dst = float_of_int dst in
+  let p = Probe.create ~config:(cfg ~window:2 ()) ~measure () in
+  let b = Probe.run_batch p ~src:0 ~dsts:[| 10; 20; 30 |] in
+  Alcotest.(check (float 1e-9)) "exact queueing schedule" 40.0 (Probe.elapsed b)
+
+let test_retry_exhaustion () =
+  let faults =
+    Faults.create ~channel:{ Faults.loss = 1.0; delay_min = 0.0; delay_max = 0.0 } ~seed:5 ()
+  in
+  let measure _ _ = 10.0 in
+  let p =
+    Probe.create ~faults
+      ~config:(cfg ~timeout:100.0 ~retries:2 ~backoff:50.0 ())
+      ~measure ()
+  in
+  (match Probe.rtt p ~src:1 ~dst:2 with
+  | Ok _ -> Alcotest.fail "expected retry exhaustion"
+  | Error f ->
+    Alcotest.(check int) "src" 1 f.Probe.src;
+    Alcotest.(check int) "dst" 2 f.Probe.dst;
+    Alcotest.(check int) "attempts = retries + 1" 3 f.Probe.attempts);
+  Alcotest.(check int) "failure counted" 1 (Probe.failures p);
+  (* 3 timeouts of 100 ms plus backoffs 50 and 100 between attempts. *)
+  Alcotest.(check (float 1e-9)) "exhaustion schedule" 450.0 (Probe.total_elapsed p)
+
+let test_timeout_without_faults () =
+  let p =
+    Probe.create ~config:(cfg ~timeout:100.0 ()) ~measure:(fun _ dst -> float_of_int dst) ()
+  in
+  (match Probe.rtt p ~src:0 ~dst:200 with
+  | Ok _ -> Alcotest.fail "expected timeout"
+  | Error f -> Alcotest.(check int) "single attempt" 1 f.Probe.attempts);
+  Alcotest.(check bool) "fast probe still succeeds" true (Probe.rtt p ~src:0 ~dst:50 = Ok 50.0)
+
+let test_cache_hit_and_stale () =
+  let now = ref 0.0 in
+  let measure, calls = synthetic () in
+  let p =
+    Probe.create ~clock:(fun () -> !now) ~config:(cfg ~cache_ttl:1000.0 ()) ~measure ()
+  in
+  let first = ok (Probe.rtt p ~src:0 ~dst:1) in
+  Alcotest.(check int) "one measurement" 1 (List.length (calls ()));
+  now := 500.0;
+  Alcotest.(check (float 0.0)) "hit serves the cached value" first
+    (ok (Probe.rtt p ~src:0 ~dst:1));
+  Alcotest.(check int) "hit does not re-measure" 1 (List.length (calls ()));
+  Alcotest.(check int) "hit counted" 1 (Probe.cache_hits p);
+  now := 5000.0;
+  ignore (Probe.rtt p ~src:0 ~dst:1);
+  Alcotest.(check int) "stale re-measures" 2 (List.length (calls ()));
+  Alcotest.(check int) "stale counted" 1 (Probe.cache_stale p);
+  Alcotest.(check int) "stale also counts as miss" 2 (Probe.cache_misses p);
+  (* a cache hit costs no modelled time *)
+  now := 5100.0;
+  let before = Probe.total_elapsed p in
+  ignore (Probe.rtt p ~src:0 ~dst:1);
+  Alcotest.(check (float 0.0)) "hit is instant" before (Probe.total_elapsed p)
+
+let test_cache_invalidate () =
+  let measure, calls = synthetic () in
+  let p = Probe.create ~config:(cfg ~cache_ttl:infinity ()) ~measure () in
+  ignore (Probe.rtt p ~src:0 ~dst:1);
+  ignore (Probe.rtt p ~src:2 ~dst:3);
+  Probe.invalidate p 1;
+  ignore (Probe.rtt p ~src:0 ~dst:1);
+  ignore (Probe.rtt p ~src:2 ~dst:3);
+  (* (0,1) re-measured after invalidation; (2,3) still served from cache *)
+  Alcotest.(check (list (pair int int))) "only the invalidated pair re-measures"
+    [ (0, 1); (2, 3); (0, 1) ]
+    (calls ())
+
+let qcheck_cache_equivalence =
+  QCheck.Test.make ~name:"cached and uncached probers agree on every RTT" ~count:100
+    QCheck.(pair (int_range 2 40) small_nat)
+    (fun (pairs, salt) ->
+      let gen = Rng.create (salt + 1) in
+      let plan = List.init pairs (fun _ -> (Rng.int gen 8, Rng.int gen 8)) in
+      let measure_a, _ = synthetic () in
+      let measure_b, calls_b = synthetic () in
+      let plain = Probe.create ~measure:measure_a () in
+      let cached = Probe.create ~config:(cfg ~cache_ttl:1e12 ()) ~measure:measure_b () in
+      let agree =
+        List.for_all
+          (fun (src, dst) -> Probe.rtt plain ~src ~dst = Probe.rtt cached ~src ~dst)
+          plan
+      in
+      let distinct = List.length (List.sort_uniq compare plan) in
+      agree
+      && List.length (calls_b ()) = distinct
+      && Probe.cache_hits cached = List.length plan - distinct)
+
+let test_submit_batch_async () =
+  let sim = Sim.create () in
+  let p = Probe.create ~sim ~config:(cfg ~window:4 ()) ~measure:(fun _ dst -> float_of_int dst) () in
+  let fired = ref None in
+  Probe.submit_batch p ~src:0 ~dsts:[| 25; 75; 50 |] (fun b ->
+      fired := Some (Sim.now sim, b));
+  Alcotest.(check bool) "callback waits for the simulation" true (!fired = None);
+  Sim.run ~until:1000.0 sim;
+  match !fired with
+  | None -> Alcotest.fail "callback never fired"
+  | Some (at, b) ->
+    Alcotest.(check (float 1e-9)) "fires at the batch completion time" b.Probe.finished at;
+    Alcotest.(check (float 1e-9)) "wide window prices the max" 75.0 (Probe.elapsed b)
+
+let test_submit_requires_sim () =
+  let p = Probe.create ~measure:(fun _ _ -> 1.0) () in
+  Alcotest.check_raises "no sim" (Invalid_argument "Probe.submit: prober has no simulation")
+    (fun () -> Probe.submit p ~src:0 ~dst:1 (fun _ -> ()))
+
+let test_config_validation () =
+  let measure _ _ = 1.0 in
+  Alcotest.check_raises "window" (Invalid_argument "Probe.create: window must be >= 1")
+    (fun () -> ignore (Probe.create ~config:(cfg ~window:0 ()) ~measure ()));
+  Alcotest.check_raises "timeout" (Invalid_argument "Probe.create: timeout must be positive")
+    (fun () -> ignore (Probe.create ~config:(cfg ~timeout:0.0 ()) ~measure ()));
+  Alcotest.check_raises "retries" (Invalid_argument "Probe.create: retries must be >= 0")
+    (fun () -> ignore (Probe.create ~config:(cfg ~retries:(-1) ()) ~measure ()))
+
+let test_metrics_instruments () =
+  let m = Metrics.create () in
+  let p = Probe.create ~metrics:m ~config:(cfg ~window:2 ~cache_ttl:100.0 ()) ~measure:(fun _ d -> float_of_int d) () in
+  ignore (Probe.run_batch p ~src:0 ~dsts:[| 1; 2; 1 |]);
+  let count name = Metrics.count (Metrics.counter m name) in
+  Alcotest.(check int) "submitted" 3 (count "probe_submitted");
+  Alcotest.(check int) "measured (third probe cached)" 2 (count "probe_measured");
+  Alcotest.(check int) "cache hits" 1 (count "probe_cache_hits");
+  Alcotest.(check int) "cache misses" 2 (count "probe_cache_misses");
+  Alcotest.(check int) "batch histogram" 1
+    (Metrics.observations (Metrics.histogram m "probe_batch_ms"))
+
+(* The consumer-facing contract: a default-configured prober wired to the
+   oracle reproduces Landmarks.vector byte for byte, measurement count
+   included. *)
+let test_vector_via_equivalence () =
+  let topo =
+    Ts.generate (Rng.create 3)
+      {
+        Ts.transit_domains = 2;
+        transit_nodes_per_domain = 2;
+        stubs_per_transit_node = 2;
+        stub_size = 6;
+        extra_domain_edges = 1;
+        extra_edge_fraction = 0.3;
+        latency = Ts.Gtitm_random;
+      }
+  in
+  let oracle = Oracle.build topo in
+  let lms = Landmarks.choose (Rng.create 4) oracle 5 in
+  let node = 17 in
+  Oracle.reset_measurements oracle;
+  let seq = Landmarks.vector lms node in
+  let seq_count = Oracle.measurements oracle in
+  let p = Probe.create ~measure:(Oracle.measure oracle) () in
+  Oracle.reset_measurements oracle;
+  let via = Landmarks.vector_via lms p node in
+  Alcotest.(check (array (float 0.0))) "identical vector" seq via;
+  Alcotest.(check int) "identical measurement count" seq_count (Oracle.measurements oracle)
+
+let suite =
+  [
+    Alcotest.test_case "window 1 = sequential loop" `Quick test_window1_matches_sequential;
+    Alcotest.test_case "wide window prices the max" `Quick test_wide_window_prices_max;
+    Alcotest.test_case "window 2 queueing schedule" `Quick test_window2_queueing;
+    Alcotest.test_case "retry exhaustion" `Quick test_retry_exhaustion;
+    Alcotest.test_case "timeout without faults" `Quick test_timeout_without_faults;
+    Alcotest.test_case "cache hit and stale" `Quick test_cache_hit_and_stale;
+    Alcotest.test_case "cache invalidate" `Quick test_cache_invalidate;
+    Alcotest.test_case "submit_batch async" `Quick test_submit_batch_async;
+    Alcotest.test_case "submit requires sim" `Quick test_submit_requires_sim;
+    Alcotest.test_case "config validation" `Quick test_config_validation;
+    Alcotest.test_case "metrics instruments" `Quick test_metrics_instruments;
+    Alcotest.test_case "vector_via = vector" `Quick test_vector_via_equivalence;
+    QCheck_alcotest.to_alcotest qcheck_cache_equivalence;
+  ]

@@ -130,9 +130,45 @@ let test_ers_explores_rings () =
      if Float.abs (curve.Search.dist.(0) -. d0) < 1e-9 then expected_first else -1)
 
 let test_stretch_curve () =
-  let curve = { Search.found = [| 1; 2 |]; dist = [| 10.0; 5.0 |] } in
+  let curve = { Search.found = [| 1; 2 |]; dist = [| 10.0; 5.0 |]; elapsed = 0.0 } in
   Alcotest.(check (array (float 1e-9))) "stretch" [| 2.0; 1.0 |]
     (Search.stretch_curve curve ~optimal:5.0)
+
+let test_curves_window_invariant () =
+  (* Draining the probes through the probe plane must never change what a
+     curve finds — any window only re-prices the wall-clock. *)
+  let oracle, can, vectors, rng = setup ~seed:8 in
+  let candidates = all_nodes oracle in
+  let prober window =
+    Engine.Probe.create
+      ~config:{ Engine.Probe.default_config with Engine.Probe.window }
+      ~measure:(Oracle.measure oracle) ()
+  in
+  for _ = 1 to 3 do
+    let query = Rng.int rng (Oracle.node_count oracle) in
+    let check name plain (curve_of : prober:Engine.Probe.t -> Search.curve) =
+      let seq = curve_of ~prober:(prober 1) in
+      let con = curve_of ~prober:(prober 8) in
+      Alcotest.(check (array int)) (name ^ ": window 1 finds as without prober")
+        plain.Search.found seq.Search.found;
+      Alcotest.(check (array (float 0.0))) (name ^ ": window 1 prices as without prober")
+        plain.Search.dist seq.Search.dist;
+      Alcotest.(check (float 1e-9)) (name ^ ": unpriced = window-1 wall-clock")
+        plain.Search.elapsed seq.Search.elapsed;
+      Alcotest.(check (array int)) (name ^ ": window invariant") seq.Search.found con.Search.found;
+      Alcotest.(check bool) (name ^ ": wider window is never slower") true
+        (con.Search.elapsed <= seq.Search.elapsed)
+    in
+    check "ers"
+      (Search.ers_curve oracle can ~query ~budget:20)
+      (fun ~prober -> Search.ers_curve ~prober oracle can ~query ~budget:20);
+    check "hybrid"
+      (Search.hybrid_curve oracle ~vector_of:(fun v -> vectors.(v)) ~candidates ~query ~budget:20)
+      (fun ~prober ->
+        Search.hybrid_curve ~prober oracle
+          ~vector_of:(fun v -> vectors.(v))
+          ~candidates ~query ~budget:20)
+  done
 
 let test_rejects_bad_budget () =
   let oracle, can, _, _ = setup ~seed:7 in
@@ -148,5 +184,6 @@ let suite =
     Alcotest.test_case "hybrid beats ERS at small budgets" `Slow test_hybrid_beats_ers_at_small_budget;
     Alcotest.test_case "ers explores rings" `Quick test_ers_explores_rings;
     Alcotest.test_case "stretch curve arithmetic" `Quick test_stretch_curve;
+    Alcotest.test_case "curves are probe-window invariant" `Quick test_curves_window_invariant;
     Alcotest.test_case "budget validation" `Quick test_rejects_bad_budget;
   ]

@@ -308,6 +308,28 @@ let test_oracle_nearest () =
     Alcotest.(check (float 1e-12)) "matches brute force" !brute d);
   Alcotest.(check bool) "empty candidates" true (Oracle.nearest o 0 [| 0 |] = None)
 
+let test_oracle_nearest_tiebreak () =
+  (* Star: node 0 at the center, leaves 1..4 all at exactly 5.0.  Equal
+     distances must resolve to the smallest node id regardless of the
+     order candidates are presented in. *)
+  let g = Graph.make 5 [ (0, 1, 5.0); (0, 2, 5.0); (0, 3, 5.0); (0, 4, 5.0) ] in
+  let o = Oracle.of_graph g in
+  Alcotest.(check (option (pair int (float 1e-12))))
+    "ascending candidates" (Some (1, 5.0))
+    (Oracle.nearest o 0 [| 1; 2; 3; 4 |]);
+  Alcotest.(check (option (pair int (float 1e-12))))
+    "descending candidates" (Some (1, 5.0))
+    (Oracle.nearest o 0 [| 4; 3; 2; 1 |]);
+  Alcotest.(check (option (pair int (float 1e-12))))
+    "shuffled candidates" (Some (2, 5.0))
+    (Oracle.nearest o 0 [| 3; 2; 4 |]);
+  (* A strictly closer node still wins over a smaller tied id. *)
+  let g2 = Graph.make 4 [ (0, 1, 5.0); (0, 2, 5.0); (0, 3, 4.0) ] in
+  let o2 = Oracle.of_graph g2 in
+  Alcotest.(check (option (pair int (float 1e-12))))
+    "closer beats smaller id" (Some (3, 4.0))
+    (Oracle.nearest o2 0 [| 1; 2; 3 |])
+
 let test_oracle_symmetry () =
   let rng = Rng.create 8 in
   let t = Ts.generate rng (small_params Ts.Gtitm_random) in
@@ -344,6 +366,7 @@ let suite =
     Alcotest.test_case "oracle = dijkstra (exhaustive small)" `Slow test_oracle_matches_dijkstra;
     Alcotest.test_case "oracle measurement counter" `Quick test_oracle_measurement_counter;
     Alcotest.test_case "oracle nearest" `Quick test_oracle_nearest;
+    Alcotest.test_case "oracle nearest tie-break" `Quick test_oracle_nearest_tiebreak;
     Alcotest.test_case "oracle symmetry" `Quick test_oracle_symmetry;
     QCheck_alcotest.to_alcotest qcheck_oracle_matches_dijkstra;
   ]
