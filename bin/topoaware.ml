@@ -311,6 +311,21 @@ let churn_cmd =
         (const run $ verbose_arg $ seed_arg $ scale_arg $ crashes_arg $ leaves_arg $ joins_arg
         $ loss_arg $ stale_arg $ shards_arg $ digest_arg $ probe_window_arg))
 
+(* ---- repair ---- *)
+
+let repair_cmd =
+  let run verbose seed scale =
+    setup_logs verbose;
+    Workload.Exp_repair.run ~scale ~seed ppf
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:
+         "Sweep maintenance configurations (refresh x sweep x digest window, plus one \
+          adaptive run) under a seeded churn storm and report the trace-derived repair \
+          latency tail (p50/p95/p99) per configuration")
+    Term.(const run $ verbose_arg $ seed_arg $ scale_arg)
+
 (* ---- trace ---- *)
 
 let trace_cmd =
@@ -425,4 +440,4 @@ let trace_cmd =
 let () =
   let doc = "Topology-aware overlay construction using global soft-state (ICDCS 2003)" in
   let info = Cmd.info "topoaware" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; experiment_cmd; gen_topology_cmd; topo_info_cmd; nn_search_cmd; build_cmd; churn_cmd; trace_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; experiment_cmd; gen_topology_cmd; topo_info_cmd; nn_search_cmd; build_cmd; churn_cmd; repair_cmd; trace_cmd ]))

@@ -16,17 +16,34 @@ type counters = {
   c_crashes : Engine.Metrics.counter;
 }
 
+(* Extra instruments registered only in adaptive mode, so a non-adaptive
+   run's instrument set (and hence its metrics JSON) is unchanged. *)
+type adapt_obs = {
+  g_refresh : Engine.Metrics.gauge;
+  g_sweep : Engine.Metrics.gauge;
+  c_adaptations : Engine.Metrics.counter;
+  h_sample : Engine.Metrics.histogram;
+}
+
 type t = {
   builder : Builder.t;
   sim : Sim.t;
   bus : Bus.t;
-  mutable timers : Sim.timer list;
+  mutable refresh_period : float;
+  mutable sweep_period : float;
+  mutable refresh_timer : Sim.timer option;
+  mutable sweep_timers : Sim.timer list;
+  mutable timers : Sim.timer list;  (* liveness polling, table audit *)
   slot_subs : (int * int * int, Bus.subscription list) Hashtbl.t;
+  crash_at : (int, float) Hashtbl.t;  (* victim -> injection time *)
+  adapt : Engine.Repair.controller option;
+  tracer : Engine.Trace.t option;
   mutable reselections : int;
   mutable refreshes : int;
   mutable crashes : int;
   mutable stopped : bool;
   counters : counters option;
+  adapt_obs : adapt_obs option;
 }
 
 let overlay_latency builder ~host ~subscriber =
@@ -69,8 +86,69 @@ let refresh_all t =
       go len)
     (Can_overlay.node_ids can)
 
+let arm_refresh t =
+  t.refresh_timer <- Some (Sim.every t.sim ~period:t.refresh_period (fun () -> refresh_all t))
+
+(* Sweeping through the bus turns TTL expiry into departure
+   notifications, so watchers of a crashed (never-retracted) node's
+   entries eventually learn of its demise even without liveness
+   polling.  Each store shard gets its own periodic sweep, staggered
+   across the period so no single event touches the whole store; with
+   one shard this degenerates to the single sweep-every-period timer. *)
+let arm_sweeps t =
+  let nshards = Store.shard_count t.builder.Builder.store in
+  let period = t.sweep_period in
+  t.sweep_timers <-
+    List.init nshards (fun i ->
+        let offset = period *. float_of_int (i + 1) /. float_of_int nshards in
+        Sim.schedule t.sim ~delay:offset (fun () ->
+            ignore (Bus.expire_sweep_shard t.bus i);
+            let tm =
+              Sim.every t.sim ~period (fun () -> ignore (Bus.expire_sweep_shard t.bus i))
+            in
+            t.sweep_timers <- tm :: t.sweep_timers))
+
+(* Adaptive re-tune: drop the old timers and restart them at the
+   controller's periods (each shard's first re-armed sweep lands at its
+   stagger offset from now). *)
+let retune t ~refresh ~sweep =
+  t.refresh_period <- refresh;
+  t.sweep_period <- sweep;
+  Option.iter Sim.cancel t.refresh_timer;
+  List.iter Sim.cancel t.sweep_timers;
+  t.sweep_timers <- [];
+  arm_refresh t;
+  arm_sweeps t;
+  match t.adapt_obs with
+  | Some o ->
+    Engine.Metrics.set o.g_refresh refresh;
+    Engine.Metrics.set o.g_sweep sweep;
+    Engine.Metrics.incr o.c_adaptations
+  | None -> ()
+
+(* The adaptive observation point: a delivered departure notification
+   about a node we know crashed is one sample of the repair latency the
+   pub/sub plane just achieved for that victim. *)
+let observe_notification t (n : Bus.notification) =
+  match t.adapt with
+  | None -> ()
+  | Some ctl ->
+    (match n.Bus.event with
+    | Bus.Entry_departed { entry_node; _ } ->
+      (match Hashtbl.find_opt t.crash_at entry_node with
+      | Some t0 ->
+        let sample = n.Bus.delivered_at -. t0 in
+        (match t.adapt_obs with
+        | Some o -> Engine.Metrics.observe o.h_sample sample
+        | None -> ());
+        if Engine.Repair.observe ctl sample then
+          retune t ~refresh:(Engine.Repair.refresh_period ctl)
+            ~sweep:(Engine.Repair.sweep_period ctl)
+      | None -> ())
+    | Bus.Entry_published _ | Bus.Load_changed _ -> ())
+
 let start ~sim ?metrics ?labels ?trace ?(refresh_period = 200_000.0)
-    ?(sweep_period = 100_000.0) ?channel ?digest_window builder =
+    ?(sweep_period = 100_000.0) ?channel ?digest_window ?adapt builder =
   let bus =
     Bus.create ?metrics ?labels ?trace ~sim
       ~latency:(fun ~host ~subscriber -> overlay_latency builder ~host ~subscriber)
@@ -87,39 +165,60 @@ let start ~sim ?metrics ?labels ?trace ?(refresh_period = 200_000.0)
         })
       metrics
   in
+  let controller =
+    Option.map
+      (fun policy ->
+        Engine.Repair.controller ~refresh:refresh_period ~sweep:sweep_period policy)
+      adapt
+  in
+  let adapt_obs =
+    match (controller, metrics) with
+    | Some _, Some m ->
+      let labels = Option.value labels ~default:[] in
+      Some
+        {
+          g_refresh = Engine.Metrics.gauge m ~labels "maintenance_refresh_period_ms";
+          g_sweep = Engine.Metrics.gauge m ~labels "maintenance_sweep_period_ms";
+          c_adaptations = Engine.Metrics.counter m ~labels "maintenance_adaptations";
+          h_sample = Engine.Metrics.histogram m ~labels "maintenance_repair_sample_ms";
+        }
+    | _ -> None
+  in
   let t =
     {
       builder;
       sim;
       bus;
+      (* The controller may have clamped the starting periods into the
+         policy bounds. *)
+      refresh_period =
+        (match controller with
+        | Some c -> Engine.Repair.refresh_period c
+        | None -> refresh_period);
+      sweep_period =
+        (match controller with Some c -> Engine.Repair.sweep_period c | None -> sweep_period);
+      refresh_timer = None;
+      sweep_timers = [];
       timers = [];
       slot_subs = Hashtbl.create 256;
+      crash_at = Hashtbl.create 16;
+      adapt = controller;
+      tracer = trace;
       reselections = 0;
       refreshes = 0;
       crashes = 0;
       stopped = false;
       counters;
+      adapt_obs;
     }
   in
-  let refresh_timer = Sim.every sim ~period:refresh_period (fun () -> refresh_all t) in
-  (* Sweeping through the bus turns TTL expiry into departure
-     notifications, so watchers of a crashed (never-retracted) node's
-     entries eventually learn of its demise even without liveness
-     polling.  Each store shard gets its own periodic sweep, staggered
-     across the period so no single event touches the whole store; with
-     one shard this degenerates to the single sweep-every-period timer. *)
-  let nshards = Store.shard_count builder.Builder.store in
-  let sweep_timers =
-    List.init nshards (fun i ->
-        let offset = sweep_period *. float_of_int (i + 1) /. float_of_int nshards in
-        Sim.schedule sim ~delay:offset (fun () ->
-            ignore (Bus.expire_sweep_shard bus i);
-            let tm =
-              Sim.every sim ~period:sweep_period (fun () -> ignore (Bus.expire_sweep_shard bus i))
-            in
-            t.timers <- tm :: t.timers))
-  in
-  t.timers <- refresh_timer :: sweep_timers;
+  arm_refresh t;
+  arm_sweeps t;
+  (match t.adapt_obs with
+  | Some o ->
+    Engine.Metrics.set o.g_refresh t.refresh_period;
+    Engine.Metrics.set o.g_sweep t.sweep_period
+  | None -> ());
   t
 
 let bus t = t.bus
@@ -127,6 +226,9 @@ let bus t = t.bus
 let reselections t = t.reselections
 let refreshes t = t.refreshes
 let crashes t = t.crashes
+let refresh_period t = t.refresh_period
+let sweep_period t = t.sweep_period
+let controller t = t.adapt
 
 let drop_slot_subs t key =
   match Hashtbl.find_opt t.slot_subs key with
@@ -137,6 +239,10 @@ let drop_slot_subs t key =
 
 let stop t =
   t.stopped <- true;
+  Option.iter Sim.cancel t.refresh_timer;
+  t.refresh_timer <- None;
+  List.iter Sim.cancel t.sweep_timers;
+  t.sweep_timers <- [];
   List.iter Sim.cancel t.timers;
   t.timers <- [];
   let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.slot_subs [] in
@@ -180,7 +286,10 @@ and watch_slot t ~node ~row ~digit =
   if row < Ecan_exp.rows ecan node && digit <> Ecan_exp.own_digit ecan node ~row then begin
     let region = Ecan_exp.region_prefix ecan node ~row ~digit in
     let vector = Builder.vector_of t.builder node in
-    let handler _ = reselect_slot t ~node ~row ~digit in
+    let handler n =
+      observe_notification t n;
+      reselect_slot t ~node ~row ~digit
+    in
     let subs =
       match Ecan_exp.entry ecan node ~row ~digit with
       | Some target ->
@@ -309,11 +418,24 @@ let remove_member t node ~retract =
   in
   List.iter (drop_slot_subs t) own_keys
 
-let node_departs t node = remove_member t node ~retract:true
+(* The victim-tagged fault span [Engine.Repair.analyze] resolves: node =
+   victim, note = the fault kind, at = the injection instant.  (The plan
+   spans [Engine.Faults] emits carry node = -1 — victims are picked
+   driver-side, so only here is the victim known.) *)
+let emit_fault_span t node ~note =
+  match t.tracer with
+  | Some tr -> Engine.Trace.emit tr ~at:(Sim.now t.sim) ~note Engine.Trace.Fault_inject ~node
+  | None -> ()
+
+let node_departs t node =
+  emit_fault_span t node ~note:"leave";
+  remove_member t node ~retract:true
 
 let node_crashes t node =
   t.crashes <- t.crashes + 1;
   (match t.counters with Some c -> Engine.Metrics.incr c.c_crashes | None -> ());
+  emit_fault_span t node ~note:"crash";
+  Hashtbl.replace t.crash_at node (Sim.now t.sim);
   remove_member t node ~retract:false
 
 let audit_tables t =

@@ -18,6 +18,7 @@ val start :
   ?sweep_period:float ->
   ?channel:(float -> float option) ->
   ?digest_window:float ->
+  ?adapt:Engine.Repair.policy ->
   Builder.t ->
   t
 (** Begin periodic refresh (default every 200,000 ms, well inside the
@@ -38,7 +39,23 @@ val start :
     counters and [Notify] spans) and additionally maintain
     [maintenance_reselections] / [maintenance_refreshes] /
     [maintenance_crashes] counters mirroring {!reselections} /
-    {!refreshes} / {!crashes}. *)
+    {!refreshes} / {!crashes}.  With [trace], every {!node_crashes} /
+    {!node_departs} call also emits a victim-tagged [Fault_inject] span
+    (node = victim, note = ["crash"] / ["leave"]) — the anchor
+    {!Engine.Repair.analyze} correlates repair traffic against.
+
+    [adapt] (default off) turns on adaptive maintenance: an
+    {!Engine.Repair.controller} seeded with the starting periods (clamped
+    into the policy bounds) observes the repair latency of every delivered
+    departure notification about a node previously passed to
+    {!node_crashes}, and whenever the controller moves, the refresh and
+    sweep timers are cancelled and re-armed at the new periods.  Without
+    [adapt] nothing is observed, no extra instruments are registered, and
+    scheduling is byte-identical to earlier releases.  With both [adapt]
+    and [metrics], the run additionally maintains
+    [maintenance_refresh_period_ms] / [maintenance_sweep_period_ms]
+    gauges, a [maintenance_adaptations] counter and a
+    [maintenance_repair_sample_ms] histogram. *)
 
 val bus : t -> Pubsub.Bus.t
 (** The pub/sub bus wired to the overlay's store.  Notification delivery
@@ -100,3 +117,12 @@ val refreshes : t -> int
 
 val crashes : t -> int
 (** Number of fail-stop failures injected so far. *)
+
+val refresh_period : t -> float
+(** The refresh period currently armed (changes only under [?adapt]). *)
+
+val sweep_period : t -> float
+(** The sweep period currently armed (changes only under [?adapt]). *)
+
+val controller : t -> Engine.Repair.controller option
+(** The adaptive controller, when [?adapt] was given. *)

@@ -1,0 +1,296 @@
+module Stats = Prelude.Stats
+
+type fault_kind = Crash | Leave
+
+type fault = { victim : int; kind : fault_kind; injected_at : float }
+
+type record = {
+  fault : fault;
+  regions : string list;
+  detected_at : float;
+  first_notify : float;
+  last_notify : float;
+  notifies : int;
+  sweeps : int;
+  republishes : int;
+}
+
+let repaired r = r.notifies > 0
+let detection_ms r = if repaired r then r.detected_at -. r.fault.injected_at else Float.nan
+let first_notify_ms r = if repaired r then r.first_notify -. r.fault.injected_at else Float.nan
+let repair_ms r = if repaired r then r.last_notify -. r.fault.injected_at else Float.nan
+
+type dist = { n : int; p50 : float; p95 : float; p99 : float; max : float }
+
+let dist_of samples =
+  if Array.length samples = 0 then { n = 0; p50 = 0.0; p95 = 0.0; p99 = 0.0; max = 0.0 }
+  else
+    {
+      n = Array.length samples;
+      p50 = Stats.percentile samples 50.0;
+      p95 = Stats.percentile samples 95.0;
+      p99 = Stats.percentile samples 99.0;
+      max = Array.fold_left Float.max neg_infinity samples;
+    }
+
+type report = { records : record list; repair : dist; detection : dist; unrepaired : int }
+
+(* "<tag>:<entry>@<region>" — the Bus note convention. *)
+let parse_notify note =
+  match (String.index_opt note ':', String.index_opt note '@') with
+  | Some i, Some j when j > i + 1 ->
+    (match int_of_string_opt (String.sub note (i + 1) (j - i - 1)) with
+    | Some entry ->
+      Some (String.sub note 0 i, entry, String.sub note (j + 1) (String.length note - j - 1))
+    | None -> None)
+  | _ -> None
+
+let fault_of_span (s : Trace.span) =
+  if s.Trace.kind <> Trace.Fault_inject || s.Trace.node < 0 then None
+  else
+    match s.Trace.note with
+    | "crash" -> Some { victim = s.Trace.node; kind = Crash; injected_at = s.Trace.at }
+    | "leave" -> Some { victim = s.Trace.node; kind = Leave; injected_at = s.Trace.at }
+    | _ -> None
+
+(* Mutable accumulator per fault, frozen into a record at the end. *)
+type acc = {
+  a_fault : fault;
+  mutable a_detected : float;
+  mutable a_first : float;
+  mutable a_last : float;
+  mutable a_notifies : int;
+  mutable a_sweeps : int;
+  mutable a_republishes : int;
+}
+
+let analyze spans =
+  let spans =
+    List.stable_sort
+      (fun (a : Trace.span) (b : Trace.span) -> compare (a.Trace.at, a.Trace.seq) (b.Trace.at, b.Trace.seq))
+      spans
+  in
+  (* Pass 1: resolved faults (in order) and each victim's region set. *)
+  let accs = ref [] (* reversed *) in
+  let by_victim : (int, acc list) Hashtbl.t = Hashtbl.create 16 in
+  let regions_of : (int, (string, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Trace.span) ->
+      (match fault_of_span s with
+      | Some f ->
+        let a =
+          {
+            a_fault = f;
+            a_detected = Float.nan;
+            a_first = Float.nan;
+            a_last = Float.nan;
+            a_notifies = 0;
+            a_sweeps = 0;
+            a_republishes = 0;
+          }
+        in
+        accs := a :: !accs;
+        Hashtbl.replace by_victim f.victim
+          (a :: Option.value ~default:[] (Hashtbl.find_opt by_victim f.victim))
+      | None -> ());
+      if s.Trace.kind = Trace.Map_publish && s.Trace.peer >= 0 then begin
+        let set =
+          match Hashtbl.find_opt regions_of s.Trace.peer with
+          | Some set -> set
+          | None ->
+            let set = Hashtbl.create 8 in
+            Hashtbl.replace regions_of s.Trace.peer set;
+            set
+        in
+        Hashtbl.replace set s.Trace.note ()
+      end)
+    spans;
+  let accs = List.rev !accs in
+  let victim_regions v =
+    match Hashtbl.find_opt regions_of v with Some set -> set | None -> Hashtbl.create 0
+  in
+  (* Attribute a span at time [at] about victim [v] to the latest fault of
+     [v] injected at or before [at] (by_victim lists are newest-first). *)
+  let owner_of ~victim ~at =
+    match Hashtbl.find_opt by_victim victim with
+    | None -> None
+    | Some l -> List.find_opt (fun a -> a.a_fault.injected_at <= at) l
+  in
+  (* Pass 2: departure notifications about a victim are its repair
+     traffic. *)
+  List.iter
+    (fun (s : Trace.span) ->
+      if s.Trace.kind = Trace.Notify then
+        match parse_notify s.Trace.note with
+        | Some ("dep", entry, region) ->
+          (match owner_of ~victim:entry ~at:s.Trace.at with
+          | Some a ->
+            let set = victim_regions entry in
+            if Hashtbl.length set = 0 || Hashtbl.mem set region then begin
+              let sent = s.Trace.at and delivered = s.Trace.at +. s.Trace.dur in
+              a.a_notifies <- a.a_notifies + 1;
+              if Float.is_nan a.a_detected || sent < a.a_detected then a.a_detected <- sent;
+              if Float.is_nan a.a_first || delivered < a.a_first then a.a_first <- delivered;
+              if Float.is_nan a.a_last || delivered > a.a_last then a.a_last <- delivered
+            end
+          | None -> ())
+        | Some _ | None -> ())
+    spans;
+  (* Pass 3: sweeps waited on (injection .. detection] and republishes
+     into the victim's regions up to full repair. *)
+  List.iter
+    (fun (s : Trace.span) ->
+      match s.Trace.kind with
+      | Trace.Ttl_sweep ->
+        List.iter
+          (fun a ->
+            if
+              a.a_notifies > 0
+              && s.Trace.at > a.a_fault.injected_at
+              && s.Trace.at <= a.a_detected
+            then a.a_sweeps <- a.a_sweeps + 1)
+          accs
+      | Trace.Map_publish when s.Trace.peer >= 0 ->
+        List.iter
+          (fun a ->
+            if
+              a.a_notifies > 0
+              && s.Trace.peer <> a.a_fault.victim
+              && s.Trace.at > a.a_fault.injected_at
+              && s.Trace.at <= a.a_last
+              && Hashtbl.mem (victim_regions a.a_fault.victim) s.Trace.note
+            then a.a_republishes <- a.a_republishes + 1)
+          accs
+      | _ -> ())
+    spans;
+  let records =
+    List.map
+      (fun a ->
+        {
+          fault = a.a_fault;
+          regions =
+            List.sort compare
+              (Hashtbl.fold (fun r () l -> r :: l) (victim_regions a.a_fault.victim) []);
+          detected_at = a.a_detected;
+          first_notify = a.a_first;
+          last_notify = a.a_last;
+          notifies = a.a_notifies;
+          sweeps = a.a_sweeps;
+          republishes = a.a_republishes;
+        })
+      accs
+  in
+  let done_ = List.filter repaired records in
+  {
+    records;
+    repair = dist_of (Array.of_list (List.map repair_ms done_));
+    detection = dist_of (Array.of_list (List.map detection_ms done_));
+    unrepaired = List.length records - List.length done_;
+  }
+
+let record_metrics ?(labels = []) m report =
+  let h name = Metrics.histogram m ~labels name in
+  let h_repair = h "repair_latency_ms"
+  and h_detect = h "repair_detection_ms"
+  and h_first = h "repair_first_notify_ms" in
+  List.iter
+    (fun r ->
+      if repaired r then begin
+        Metrics.observe h_repair (repair_ms r);
+        Metrics.observe h_detect (detection_ms r);
+        Metrics.observe h_first (first_notify_ms r)
+      end)
+    report.records;
+  let c name v = Metrics.add (Metrics.counter m ~labels name) v in
+  c "repair_faults" (List.length report.records);
+  c "repair_repaired" (List.length report.records - report.unrepaired);
+  c "repair_unrepaired" report.unrepaired
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive policy                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type policy = {
+  target_ms : float;
+  headroom : float;
+  window : int;
+  step : float;
+  min_refresh : float;
+  max_refresh : float;
+  min_sweep : float;
+  max_sweep : float;
+}
+
+let default_policy =
+  {
+    target_ms = 25_000.0;
+    headroom = 0.5;
+    window = 3;
+    step = 2.0;
+    min_refresh = 2_500.0;
+    max_refresh = 120_000.0;
+    min_sweep = 500.0;
+    max_sweep = 60_000.0;
+  }
+
+type controller = {
+  policy : policy;
+  mutable refresh : float;
+  mutable sweep : float;
+  mutable pending : float list;  (* current window, newest first *)
+  mutable adjustments : int;
+  mutable observed : int;
+}
+
+let clamp ~lo ~hi v = Float.min hi (Float.max lo v)
+
+let controller ?(refresh = 200_000.0) ?(sweep = 100_000.0) policy =
+  if not (policy.target_ms > 0.0) then invalid_arg "Repair.controller: target_ms must be > 0";
+  if not (policy.headroom > 0.0 && policy.headroom <= 1.0) then
+    invalid_arg "Repair.controller: headroom must be in (0,1]";
+  if policy.window < 1 then invalid_arg "Repair.controller: window must be >= 1";
+  if not (policy.step > 1.0) then invalid_arg "Repair.controller: step must be > 1";
+  if not (0.0 < policy.min_refresh && policy.min_refresh <= policy.max_refresh) then
+    invalid_arg "Repair.controller: need 0 < min_refresh <= max_refresh";
+  if not (0.0 < policy.min_sweep && policy.min_sweep <= policy.max_sweep) then
+    invalid_arg "Repair.controller: need 0 < min_sweep <= max_sweep";
+  {
+    policy;
+    refresh = clamp ~lo:policy.min_refresh ~hi:policy.max_refresh refresh;
+    sweep = clamp ~lo:policy.min_sweep ~hi:policy.max_sweep sweep;
+    pending = [];
+    adjustments = 0;
+    observed = 0;
+  }
+
+let refresh_period c = c.refresh
+let sweep_period c = c.sweep
+let adjustments c = c.adjustments
+let observed c = c.observed
+
+let observe c sample =
+  c.observed <- c.observed + 1;
+  c.pending <- sample :: c.pending;
+  if List.length c.pending < c.policy.window then false
+  else begin
+    let worst = List.fold_left Float.max neg_infinity c.pending in
+    c.pending <- [];
+    let p = c.policy in
+    (* Over target: refresh less often (a crash victim's entries are then
+       staler and expire sooner) and sweep more often (expiry is noticed
+       sooner).  Under the headroom: step back toward the cheap end. *)
+    let refresh', sweep' =
+      if worst > p.target_ms then (c.refresh *. p.step, c.sweep /. p.step)
+      else if worst < p.headroom *. p.target_ms then (c.refresh /. p.step, c.sweep *. p.step)
+      else (c.refresh, c.sweep)
+    in
+    let refresh' = clamp ~lo:p.min_refresh ~hi:p.max_refresh refresh'
+    and sweep' = clamp ~lo:p.min_sweep ~hi:p.max_sweep sweep' in
+    let changed = refresh' <> c.refresh || sweep' <> c.sweep in
+    if changed then begin
+      c.refresh <- refresh';
+      c.sweep <- sweep';
+      c.adjustments <- c.adjustments + 1
+    end;
+    changed
+  end

@@ -58,6 +58,22 @@ type t = {
 
 let region_key bits = Array.fold_left (fun acc b -> (acc lsl 1) lor b) 1 bits
 
+(* Same naming as Softstate.Store's Map_publish spans, so trace analyses
+   ([Engine.Repair]) can join notifications against publishes by region. *)
+let region_label bits =
+  if Array.length bits = 0 then "root"
+  else String.concat "" (Array.to_list (Array.map string_of_int bits))
+
+(* The note a notification's Notify span carries: enough to correlate the
+   span back to the subject entry ("<tag>:<entry>@<region>"). *)
+let event_note = function
+  | Entry_published { region; entry_node } ->
+    Printf.sprintf "pub:%d@%s" entry_node (region_label region)
+  | Entry_departed { region; entry_node } ->
+    Printf.sprintf "dep:%d@%s" entry_node (region_label region)
+  | Load_changed { region; entry_node; _ } ->
+    Printf.sprintf "load:%d@%s" entry_node (region_label region)
+
 let create ?metrics ?(labels = []) ?trace ?sim ?(latency = fun ~host:_ ~subscriber:_ -> 0.0)
     ?(channel = fun delay -> Some delay) ?(digest_window = 0.0) store =
   if digest_window < 0.0 then invalid_arg "Bus.create: digest_window must be >= 0";
@@ -164,7 +180,8 @@ let deliver_immediate t sub ~host event =
     let total = Float.max 0.0 total in
     (match t.obs with
     | Some { tracer = Some tr; _ } ->
-      Engine.Trace.emit tr ~dur:total ~peer:sub.subscriber Engine.Trace.Notify ~node:host
+      Engine.Trace.emit tr ~dur:total ~peer:sub.subscriber ~note:(event_note event)
+        Engine.Trace.Notify ~node:host
     | Some { tracer = None; _ } | None -> ());
     (match t.sim with
     | None -> fire 0.0
@@ -218,7 +235,8 @@ let deliver_digest t sim sub ~host event =
       let delay = total +. t.digest_window in
       (match t.obs with
       | Some { tracer = Some tr; _ } ->
-        Engine.Trace.emit tr ~dur:delay ~peer:sub.subscriber Engine.Trace.Notify ~node:host
+        Engine.Trace.emit tr ~dur:delay ~peer:sub.subscriber ~note:(event_note event)
+          Engine.Trace.Notify ~node:host
       | Some { tracer = None; _ } | None -> ());
       ignore
         (Sim.schedule sim ~delay (fun () -> flush_digest t sim ~subscriber:sub.subscriber ~key)))

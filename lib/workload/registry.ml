@@ -35,6 +35,8 @@ let all =
       (fun ?scale ppf -> Exp_churn.run ?scale ppf);
     entry "storm" "Maintenance plane: digest batching & heap-swept TTL under burst load"
       Exp_storm.run;
+    entry "repair" "Repair latency: trace-driven tail analysis & adaptive maintenance tuning"
+      (fun ?scale ppf -> Exp_repair.run ?scale ppf);
   ]
 
 let find name = List.find_opt (fun e -> e.name = name) all

@@ -15,6 +15,7 @@ let () =
       ("softstate", Test_softstate.suite);
       ("pubsub", Test_pubsub.suite);
       ("faults", Test_faults.suite);
+      ("repair", Test_repair.suite);
       ("proximity", Test_proximity.suite);
       ("core", Test_core.suite);
       ("extensions", Test_extensions.suite);

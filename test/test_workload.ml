@@ -1,5 +1,6 @@
 (* Smoke tests: every registered experiment runs end-to-end at a small
-   scale and produces a non-empty table.  Catches regressions anywhere in
+   scale, produces a non-empty table and leaves the global metrics
+   registry non-empty (and never shrunk).  Catches regressions anywhere in
    the pipeline (topology, overlays, soft-state, measurement). *)
 
 let smoke_scale = 32
@@ -7,6 +8,7 @@ let smoke_scale = 32
 let run_entry (e : Workload.Registry.entry) () =
   let buf = Buffer.create 1024 in
   let ppf = Format.formatter_of_buffer buf in
+  let instruments_before = Engine.Metrics.size Engine.Metrics.global in
   e.Workload.Registry.run ~scale:smoke_scale ppf;
   Format.pp_print_flush ppf ();
   let out = Buffer.contents buf in
@@ -18,7 +20,12 @@ let run_entry (e : Workload.Registry.entry) () =
     (Printf.sprintf "%s output has a table" e.Workload.Registry.name)
     true
     (String.length out > 0
-    && (String.index_opt out '=' <> None || String.index_opt out ':' <> None))
+    && (String.index_opt out '=' <> None || String.index_opt out ':' <> None));
+  let instruments_after = Engine.Metrics.size Engine.Metrics.global in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s left metrics registry populated" e.Workload.Registry.name)
+    true
+    (instruments_after > 0 && instruments_after >= instruments_before)
 
 let test_registry_lookup () =
   Alcotest.(check bool) "find fig10" true (Workload.Registry.find "fig10" <> None);
