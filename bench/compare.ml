@@ -21,7 +21,15 @@ let usage () =
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("bench-compare: " ^ s); exit 2) fmt
 
-let load path =
+let load ~role path =
+  if not (Sys.file_exists path) then
+    fail
+      "%s file %S does not exist%s" role path
+      (if role = "baseline" then
+         "\n\
+          \  (checked-in baselines live at the repo root; generate one with:\n\
+          \      dune exec bench/main.exe -- --no-micro [--only EXP] --scale 8 --json FILE)"
+       else "");
   let ic = try open_in_bin path with Sys_error e -> fail "%s" e in
   let s = really_input_string ic (in_channel_length ic) in
   close_in ic;
@@ -79,7 +87,7 @@ let () =
   let base_path, fresh_path =
     match (!baseline, !fresh) with Some b, Some f -> (b, f) | _ -> usage ()
   in
-  let base = load base_path and cur = load fresh_path in
+  let base = load ~role:"baseline" base_path and cur = load ~role:"fresh snapshot" fresh_path in
   (match (Json.member "schema" base, Json.member "schema" cur) with
   | Some (Json.String a), Some (Json.String b) when a = b -> ()
   | Some (Json.String a), Some (Json.String b) ->

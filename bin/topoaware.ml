@@ -326,6 +326,47 @@ let repair_cmd =
           latency tail (p50/p95/p99) per configuration")
     Term.(const run $ verbose_arg $ seed_arg $ scale_arg)
 
+(* ---- cache ---- *)
+
+let cache_cmd =
+  let zipf_arg =
+    Arg.(value & opt float 0.9
+         & info [ "zipf-s" ] ~docv:"S"
+             ~doc:"Zipf popularity exponent, >= 0 (0 = uniform requests).")
+  in
+  let clients_arg =
+    Arg.(value & opt (some int) None
+         & info [ "clients" ] ~docv:"N"
+             ~doc:"Client population size (default: scales with the workload).")
+  in
+  let replicas_arg =
+    Arg.(value & opt int 3
+         & info [ "replicas" ] ~docv:"R"
+             ~doc:"Max copies per key, >= 1 (1 disables hotspot replication).")
+  in
+  let run verbose seed scale zipf_s clients replicas =
+    if (not (Float.is_finite zipf_s)) || zipf_s < 0.0 then
+      `Error (false, "--zipf-s must be finite and >= 0")
+    else if (match clients with Some c -> c < 1 | None -> false) then
+      `Error (false, "--clients must be >= 1")
+    else if replicas < 1 then `Error (false, "--replicas must be >= 1")
+    else begin
+      setup_logs verbose;
+      Workload.Exp_cache.run_custom ~scale ~seed ~zipf_s ?clients ~replicas ppf;
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:
+         "Serve a seeded Zipf request workload through a content cache over every overlay \
+          (eCAN aware/random, CAN, Chord, Pastry) and report delivered latency percentiles, \
+          hit rate, hotspot replications and per-node load")
+    Term.(
+      ret
+        (const run $ verbose_arg $ seed_arg $ scale_arg $ zipf_arg $ clients_arg
+        $ replicas_arg))
+
 (* ---- trace ---- *)
 
 let trace_cmd =
@@ -440,4 +481,4 @@ let trace_cmd =
 let () =
   let doc = "Topology-aware overlay construction using global soft-state (ICDCS 2003)" in
   let info = Cmd.info "topoaware" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; experiment_cmd; gen_topology_cmd; topo_info_cmd; nn_search_cmd; build_cmd; churn_cmd; repair_cmd; trace_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; experiment_cmd; gen_topology_cmd; topo_info_cmd; nn_search_cmd; build_cmd; churn_cmd; repair_cmd; cache_cmd; trace_cmd ]))

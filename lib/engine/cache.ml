@@ -1,0 +1,302 @@
+type backend = {
+  name : string;
+  member : int -> bool;
+  home_of : int -> int;
+  route_to : src:int -> dst:int -> int list option;
+  near : node:int -> exclude:int list -> int option;
+  publish_load : node:int -> load:float -> unit;
+}
+
+type config = {
+  replicas : int;
+  load_threshold : int;
+  window : float;
+  origin_ms : float;
+  hot_keys : int;
+}
+
+let default_config =
+  { replicas = 1; load_threshold = 64; window = infinity; origin_ms = 150.0; hot_keys = 4 }
+
+type outcome = {
+  key : int;
+  client : int;
+  served_by : int;
+  hit : bool;
+  shed : bool;
+  hops : int;
+  latency : float;
+}
+
+type observer = {
+  o_requests : Metrics.counter;
+  o_hits : Metrics.counter;
+  o_misses : Metrics.counter;
+  o_sheds : Metrics.counter;
+  o_failovers : Metrics.counter;
+  o_replications : Metrics.counter;
+  o_latency : Metrics.histogram;
+  o_load_max : Metrics.gauge;
+}
+
+type t = {
+  backend : backend;
+  config : config;
+  link : int -> int -> float;
+  rtt : src:int -> dst:int -> float option;
+  clock : unit -> float;
+  obs : observer option;
+  trace : Trace.t option;
+  copies : (int, int list) Hashtbl.t;  (* key -> holders, placement order *)
+  window_load : (int, int) Hashtbl.t;  (* node -> served this window *)
+  hot : (int, (int, int) Hashtbl.t) Hashtbl.t;  (* node -> key -> window count *)
+  mutable window_start : float;
+  mutable max_load : int;
+  mutable requests : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable sheds : int;
+  mutable failovers : int;
+  mutable replications : int;
+}
+
+let create ?metrics ?(labels = []) ?trace ?(clock = fun () -> 0.0) ?rtt
+    ?(config = default_config) ~link backend =
+  if config.replicas < 1 then invalid_arg "Cache.create: replicas must be >= 1";
+  if config.load_threshold < 1 then invalid_arg "Cache.create: load_threshold must be >= 1";
+  if config.window <= 0.0 then invalid_arg "Cache.create: window must be positive";
+  if config.origin_ms < 0.0 then invalid_arg "Cache.create: origin_ms must be >= 0";
+  if config.hot_keys < 1 then invalid_arg "Cache.create: hot_keys must be >= 1";
+  let obs =
+    Option.map
+      (fun m ->
+        {
+          o_requests = Metrics.counter m ~labels "cache_requests";
+          o_hits = Metrics.counter m ~labels "cache_hits";
+          o_misses = Metrics.counter m ~labels "cache_misses";
+          o_sheds = Metrics.counter m ~labels "cache_sheds";
+          o_failovers = Metrics.counter m ~labels "cache_failovers";
+          o_replications = Metrics.counter m ~labels "cache_replications";
+          o_latency = Metrics.histogram m ~labels "cache_request_ms";
+          o_load_max = Metrics.gauge m ~labels "cache_load_max";
+        })
+      metrics
+  in
+  let rtt = match rtt with Some f -> f | None -> fun ~src ~dst -> Some (link src dst) in
+  {
+    backend;
+    config;
+    link;
+    rtt;
+    clock;
+    obs;
+    trace;
+    copies = Hashtbl.create 1024;
+    window_load = Hashtbl.create 256;
+    hot = Hashtbl.create 256;
+    window_start = clock ();
+    max_load = 0;
+    requests = 0;
+    hits = 0;
+    misses = 0;
+    sheds = 0;
+    failovers = 0;
+    replications = 0;
+  }
+
+let config t = t.config
+let backend_name t = t.backend.name
+let requests t = t.requests
+let hits t = t.hits
+let misses t = t.misses
+let sheds t = t.sheds
+let failovers t = t.failovers
+let replications t = t.replications
+let max_load t = t.max_load
+
+let replicas_of t key = Option.value ~default:[] (Hashtbl.find_opt t.copies key)
+
+let stored_keys t =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.copies [])
+
+let load_of t node = Option.value ~default:0 (Hashtbl.find_opt t.window_load node)
+
+let path_ms t = function
+  | [] | [ _ ] -> 0.0
+  | hops ->
+    let rec go acc = function
+      | a :: (b :: _ as rest) -> go (acc +. t.link a b) rest
+      | [ _ ] | [] -> acc
+    in
+    go 0.0 hops
+
+let roll_window t =
+  if Float.is_finite t.config.window then begin
+    let now = t.clock () in
+    if now -. t.window_start >= t.config.window then begin
+      t.window_start <- now;
+      Hashtbl.reset t.window_load;
+      Hashtbl.reset t.hot
+    end
+  end
+
+let bump_load t node key =
+  let served = 1 + load_of t node in
+  Hashtbl.replace t.window_load node served;
+  let per_key =
+    match Hashtbl.find_opt t.hot node with
+    | Some h -> h
+    | None ->
+      let h = Hashtbl.create 64 in
+      Hashtbl.replace t.hot node h;
+      h
+  in
+  Hashtbl.replace per_key key (1 + Option.value ~default:0 (Hashtbl.find_opt per_key key));
+  if served > t.max_load then begin
+    t.max_load <- served;
+    Option.iter (fun o -> Metrics.set o.o_load_max (float_of_int served)) t.obs
+  end;
+  served
+
+(* Hottest keys of a node this window: count descending, key ascending —
+   a total order, so the scan is deterministic. *)
+let hottest_keys t node limit =
+  match Hashtbl.find_opt t.hot node with
+  | None -> []
+  | Some per_key ->
+    Hashtbl.fold (fun k c acc -> (-c, k) :: acc) per_key []
+    |> List.sort compare
+    |> List.filteri (fun i _ -> i < limit)
+    |> List.map snd
+
+(* Copy the node's hottest under-replicated keys to a near host.  The
+   node's fresh load goes to the backend first so a soft-state-backed
+   [near] ranks against current load/capacity fields. *)
+let replicate_hot t node served =
+  t.backend.publish_load ~node
+    ~load:(float_of_int served /. float_of_int t.config.load_threshold);
+  List.iter
+    (fun key ->
+      let holders = replicas_of t key in
+      if List.length holders < t.config.replicas && List.mem node holders then
+        match t.backend.near ~node ~exclude:holders with
+        | Some target when t.backend.member target && not (List.mem target holders) ->
+          Hashtbl.replace t.copies key (holders @ [ target ]);
+          t.replications <- t.replications + 1;
+          Option.iter (fun o -> Metrics.incr o.o_replications) t.obs;
+          Option.iter
+            (fun tr ->
+              Trace.emit tr ~peer:target ~note:(string_of_int key) Trace.Cache_replicate
+                ~node)
+            t.trace
+        | Some _ | None -> ())
+    (hottest_keys t node t.config.hot_keys)
+
+(* Rank the key's copies for a client: cool (below-threshold) copies
+   before hot ones, then by client->copy RTT (unknown RTT last), ties to
+   the lower id.  The first reachable copy in this order serves. *)
+let rank_copies t ~client holders =
+  let score node =
+    let r = match t.rtt ~src:client ~dst:node with Some r -> r | None -> infinity in
+    let hot = if load_of t node >= t.config.load_threshold then 1 else 0 in
+    (hot, r, node)
+  in
+  let scored = List.map (fun n -> (score n, n)) holders in
+  let by_pref = List.sort compare scored in
+  let by_rtt = List.sort (fun ((_, ra, ia), _) ((_, rb, ib), _) -> compare (ra, ia) (rb, ib)) scored in
+  let order = List.map snd by_pref in
+  let shed =
+    match (order, by_rtt) with
+    | first :: _, (_, nearest) :: _ -> first <> nearest
+    | _ -> false
+  in
+  (order, shed)
+
+let emit_request t ~client ~served_by ~latency note key =
+  Option.iter
+    (fun tr ->
+      Trace.emit tr ~dur:latency ~peer:served_by
+        ~note:(Printf.sprintf "%s:%d" note key)
+        Trace.Cache_request ~node:client)
+    t.trace
+
+let finish t ~client ~key ~served_by ~hit ~shed ~hops ~latency =
+  t.requests <- t.requests + 1;
+  if hit then t.hits <- t.hits + 1 else t.misses <- t.misses + 1;
+  if shed then t.sheds <- t.sheds + 1;
+  Option.iter
+    (fun o ->
+      Metrics.incr o.o_requests;
+      Metrics.incr (if hit then o.o_hits else o.o_misses);
+      if shed then Metrics.incr o.o_sheds;
+      Metrics.observe o.o_latency latency)
+    t.obs;
+  emit_request t ~client ~served_by ~latency (if not hit then "miss" else if shed then "shed" else "hit") key;
+  let served = bump_load t served_by key in
+  if t.config.replicas > 1 && served mod t.config.load_threshold = 0 then
+    replicate_hot t served_by served;
+  { key; client; served_by; hit; shed; hops; latency }
+
+let miss t ~client ~key =
+  let home = t.backend.home_of key in
+  match t.backend.route_to ~src:client ~dst:home with
+  | None -> failwith "Cache.request: key home unroutable"
+  | Some hops_list ->
+    let latency = path_ms t hops_list +. t.config.origin_ms in
+    Hashtbl.replace t.copies key [ home ];
+    finish t ~client ~key ~served_by:home ~hit:false ~shed:false
+      ~hops:(List.length hops_list - 1) ~latency
+
+let request t ~client ~key =
+  if not (t.backend.member client) then invalid_arg "Cache.request: client is not a member";
+  roll_window t;
+  let holders = List.filter t.backend.member (replicas_of t key) in
+  if holders <> replicas_of t key && holders <> [] then Hashtbl.replace t.copies key holders;
+  match holders with
+  | [] -> miss t ~client ~key
+  | holders ->
+    let order, shed = rank_copies t ~client holders in
+    let rec serve failed = function
+      | [] ->
+        (* every copy unroutable: drop them all and refetch from origin *)
+        Hashtbl.remove t.copies key;
+        if failed then begin
+          t.failovers <- t.failovers + 1;
+          Option.iter (fun o -> Metrics.incr o.o_failovers) t.obs
+        end;
+        miss t ~client ~key
+      | copy :: rest -> (
+        match t.backend.route_to ~src:client ~dst:copy with
+        | Some hops_list ->
+          if failed then begin
+            t.failovers <- t.failovers + 1;
+            Option.iter (fun o -> Metrics.incr o.o_failovers) t.obs
+          end;
+          finish t ~client ~key ~served_by:copy ~hit:true ~shed
+            ~hops:(List.length hops_list - 1)
+            ~latency:(path_ms t hops_list)
+        | None ->
+          (* unreachable copy: prune it and fail over to the next *)
+          Hashtbl.replace t.copies key
+            (List.filter (fun n -> n <> copy) (replicas_of t key));
+          serve true rest)
+    in
+    serve false order
+
+let check_invariants t =
+  let result = ref (Ok ()) in
+  List.iter
+    (fun key ->
+      match !result with
+      | Error _ -> ()
+      | Ok () ->
+        let holders = replicas_of t key in
+        if List.length holders > t.config.replicas then
+          result :=
+            Error
+              (Printf.sprintf "key %d has %d copies, max %d" key (List.length holders)
+                 t.config.replicas)
+        else if List.length (List.sort_uniq compare holders) <> List.length holders then
+          result := Error (Printf.sprintf "key %d has duplicate copy holders" key))
+    (stored_keys t);
+  !result

@@ -1,6 +1,14 @@
 module Json = Prelude.Json
 
-type kind = Route_hop | Rtt_probe | Map_publish | Notify | Ttl_sweep | Fault_inject
+type kind =
+  | Route_hop
+  | Rtt_probe
+  | Map_publish
+  | Notify
+  | Ttl_sweep
+  | Fault_inject
+  | Cache_request
+  | Cache_replicate
 
 let kind_name = function
   | Route_hop -> "route_hop"
@@ -9,6 +17,8 @@ let kind_name = function
   | Notify -> "notify"
   | Ttl_sweep -> "ttl_sweep"
   | Fault_inject -> "fault_inject"
+  | Cache_request -> "cache_request"
+  | Cache_replicate -> "cache_replicate"
 
 type span = {
   seq : int;

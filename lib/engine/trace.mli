@@ -20,10 +20,18 @@ type kind =
   | Notify  (** a pub/sub notification; [dur] is the delivery delay *)
   | Ttl_sweep  (** a TTL sweep ran; [note] is the purge count *)
   | Fault_inject  (** a fault-plan event fired or a message was perturbed *)
+  | Cache_request
+      (** one cache request served; [node] = client, [peer] = serving
+          replica, [dur] = delivered latency, [note] = [hit:<key>] /
+          [miss:<key>] / [shed:<key>] *)
+  | Cache_replicate
+      (** a hot entry was copied; [node] = overloaded source, [peer] =
+          new replica host, [note] = the key *)
 
 val kind_name : kind -> string
 (** ["route_hop"], ["rtt_probe"], ["map_publish"], ["notify"],
-    ["ttl_sweep"], ["fault_inject"]. *)
+    ["ttl_sweep"], ["fault_inject"], ["cache_request"],
+    ["cache_replicate"]. *)
 
 type span = {
   seq : int;  (** global emission index, 0-based, never reused *)

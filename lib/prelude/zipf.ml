@@ -1,0 +1,44 @@
+type t = { n : int; s : float; cum : float array }
+(* [cum.(i)] is the unnormalized cumulative weight of ranks [0..i]; the
+   total mass is [cum.(n-1)].  Keeping the raw partial sums (instead of
+   dividing through) costs nothing at sample time — the uniform draw is
+   scaled up by the total instead — and keeps [pmf]/[cdf] exact
+   differences of the same array the sampler searches. *)
+
+let create ?(s = 1.0) n =
+  if n <= 0 then invalid_arg "Zipf.create: size must be positive";
+  if (not (Float.is_finite s)) || s < 0.0 then
+    invalid_arg "Zipf.create: exponent must be finite and non-negative";
+  let cum = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int (i + 1)) s);
+    cum.(i) <- !acc
+  done;
+  { n; s; cum }
+
+let size t = t.n
+let exponent t = t.s
+
+let check_rank t i name = if i < 0 || i >= t.n then invalid_arg ("Zipf." ^ name ^ ": rank out of range")
+
+let total t = t.cum.(t.n - 1)
+
+let pmf t i =
+  check_rank t i "pmf";
+  (if i = 0 then t.cum.(0) else t.cum.(i) -. t.cum.(i - 1)) /. total t
+
+let cdf t i =
+  check_rank t i "cdf";
+  t.cum.(i) /. total t
+
+let sample t rng =
+  let u = Rng.float rng (total t) in
+  (* Smallest rank whose cumulative weight exceeds the draw.  [u] lies in
+     [0, total), so the search always lands in range. *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cum.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  !lo

@@ -1,0 +1,39 @@
+(** Seeded Zipf(s) sampler over ranks [0, n).
+
+    Content-popularity workloads (web caches, DHT request traces) are
+    classically Zipf-distributed: the i-th most popular item (1-based
+    rank) is requested with probability proportional to [1 / i^s].  This
+    module precomputes the normalized CDF once and samples by binary
+    search, so drawing is O(log n) and fully deterministic given the
+    {!Rng.t} it is handed — two samplers over the same generator state
+    produce byte-identical rank streams.
+
+    [s = 0] degenerates to the uniform distribution over the [n] ranks;
+    larger [s] concentrates mass on the low ranks (the web's classical
+    fit is [s] around 0.7–1.0). *)
+
+type t
+
+val create : ?s:float -> int -> t
+(** [create ~s n] builds a sampler over ranks [0 .. n-1] with exponent
+    [s] (default 1.0).  Rank 0 is the most popular item.  Raises
+    [Invalid_argument] if [n <= 0], or if [s] is negative or not
+    finite. *)
+
+val size : t -> int
+(** Number of ranks. *)
+
+val exponent : t -> float
+(** The skew exponent [s]. *)
+
+val pmf : t -> int -> float
+(** [pmf t i] is the probability of rank [i]; strictly positive and
+    nonincreasing in [i].  Raises [Invalid_argument] out of range. *)
+
+val cdf : t -> int -> float
+(** [cdf t i] is the probability of drawing a rank [<= i]
+    ([cdf t (n-1) = 1.0]).  Raises [Invalid_argument] out of range. *)
+
+val sample : t -> Rng.t -> int
+(** Draw one rank, consuming exactly one uniform float from the
+    generator (inverse-CDF via binary search). *)

@@ -291,7 +291,7 @@ let sort_by_vector_distance vector entries =
   in
   List.map (fun (_, _, e) -> e) (List.sort compare keyed)
 
-let lookup t ~region ~vector ?(max_results = 16) ?(ttl = 2) () =
+let lookup t ~region ~vector ?(max_results = 16) ?(ttl = 2) ?max_load () =
   match Hashtbl.find_opt t.maps (region_key region) with
   | None -> []
   | Some m ->
@@ -299,6 +299,12 @@ let lookup t ~region ~vector ?(max_results = 16) ?(ttl = 2) () =
     let collected = ref [] in
     let seen_hosts = Hashtbl.create 8 in
     let count = ref 0 in
+    (* QoS consultation: with [max_load], entries whose piggybacked load
+       statistic exceeds the bound are invisible to this lookup — an
+       overloaded node never enters the candidate set. *)
+    let admissible (e : Entry.t) =
+      match max_load with None -> true | Some bound -> e.Entry.load <= bound
+    in
     let visit host =
       if not (Hashtbl.mem seen_hosts host) then begin
         Hashtbl.replace seen_hosts host ();
@@ -306,7 +312,7 @@ let lookup t ~region ~vector ?(max_results = 16) ?(ttl = 2) () =
         | Some l ->
           List.iter
             (fun e ->
-              if live t e then begin
+              if live t e && admissible e then begin
                 collected := e :: !collected;
                 incr count
               end)

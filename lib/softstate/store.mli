@@ -120,13 +120,27 @@ val lookup_route : t -> from:int -> region:int array -> vector:float array -> in
     of {!lookup}, for accounting. *)
 
 val lookup :
-  t -> region:int array -> vector:float array -> ?max_results:int -> ?ttl:int -> unit -> Entry.t list
+  t ->
+  region:int array ->
+  vector:float array ->
+  ?max_results:int ->
+  ?ttl:int ->
+  ?max_load:float ->
+  unit ->
+  Entry.t list
 (** The paper's Table 1 procedure.  Route to the host designated by the
     querying node's landmark vector; collect its live entries for the
     region; if fewer than [max_results] (default 16) were found, widen the
     search to hosts up to [ttl] (default 2) CAN hops away inside the map
     box.  Results are sorted by landmark-space distance to [vector],
-    closest first, truncated to [max_results]. *)
+    closest first, truncated to [max_results].
+
+    [max_load] consults the load statistics piggybacked on the entries
+    ({!Entry.t.load}, kept fresh by {!update_stats}): entries whose load
+    exceeds the bound are skipped entirely, so an overloaded node never
+    enters the candidate set — the QoS/§6 hook the cache service's
+    replica placement uses.  Omitted = no load filtering (the default
+    lookup is unchanged). *)
 
 val region_entries : t -> int array -> Entry.t list
 (** All live entries of a region (ground truth / tests). *)

@@ -37,6 +37,8 @@ let all =
       Exp_storm.run;
     entry "repair" "Repair latency: trace-driven tail analysis & adaptive maintenance tuning"
       (fun ?scale ppf -> Exp_repair.run ?scale ppf);
+    entry "cache" "Service layer: topology-aware Zipf content cache (all overlays)"
+      (fun ?scale ppf -> Exp_cache.run ?scale ppf);
   ]
 
 let find name = List.find_opt (fun e -> e.name = name) all

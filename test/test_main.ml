@@ -20,6 +20,7 @@ let () =
       ("core", Test_core.suite);
       ("extensions", Test_extensions.suite);
       ("workload", Test_workload.suite);
+      ("cache", Test_cache.suite);
       ("properties", Test_properties.suite);
       ("edges", Test_edges.suite);
     ]

@@ -29,8 +29,32 @@ let run_entry (e : Workload.Registry.entry) () =
 
 let test_registry_lookup () =
   Alcotest.(check bool) "find fig10" true (Workload.Registry.find "fig10" <> None);
+  Alcotest.(check bool) "find cache" true (Workload.Registry.find "cache" <> None);
   Alcotest.(check bool) "unknown id" true (Workload.Registry.find "nope" = None);
   Alcotest.(check bool) "enough experiments" true (List.length Workload.Registry.all >= 16)
+
+let test_cache_experiment () =
+  (* The cache experiment renders a populated table and records its
+     per-backend gauges into the global registry. *)
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  let before = Engine.Metrics.size Engine.Metrics.global in
+  Workload.Exp_cache.run_custom ~scale:smoke_scale ppf;
+  Format.pp_print_flush ppf ();
+  let out = Buffer.contents buf in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "table lists every backend" true
+    (contains "ecan aware" out && contains "ecan random" out && contains "can greedy" out
+   && contains "chord" out && contains "pastry" out);
+  let after = Engine.Metrics.size Engine.Metrics.global in
+  Alcotest.(check bool) "cache gauges registered" true (after > before);
+  let json = Prelude.Json.to_string (Engine.Metrics.to_json Engine.Metrics.global) in
+  Alcotest.(check bool) "headline comparison gauges present" true
+    (contains "cache_random_over_aware_p99" json && contains "cache_repl_load_ratio" json)
 
 let test_tableout () =
   let t = Workload.Tableout.create ~title:"t" ~columns:[ "a"; "bb" ] in
@@ -72,6 +96,7 @@ let test_nn_data_curves () =
 let suite =
   Alcotest.test_case "nn data curves" `Quick test_nn_data_curves
   :: Alcotest.test_case "registry lookup" `Quick test_registry_lookup
+  :: Alcotest.test_case "cache experiment output & gauges" `Quick test_cache_experiment
   :: Alcotest.test_case "table rendering" `Quick test_tableout
   :: Alcotest.test_case "context cache" `Quick test_ctx_cache
   :: List.map
