@@ -59,6 +59,21 @@ let probe_window_arg =
   in
   Arg.(value & opt int 1 & info [ "probe-window" ] ~docv:"W" ~doc)
 
+let domains_arg =
+  let doc =
+    "Domain pool hosting the store's shard-parallel phases and the probe plane's      batch prefetch: 0 (the default) reads the TOPOAWARE_DOMAINS environment      variable (else 1); N >= 1 pins an N-domain pool. Changes real wall-clock      only — results and metrics are byte-identical across values (DESIGN.md §12)."
+  in
+  let nonneg =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 0 -> Ok n
+      | Some _ -> Error (`Msg "--domains must be >= 0")
+      | None -> Error (`Msg (Printf.sprintf "invalid --domains value %S" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(value & opt nonneg 0 & info [ "domains" ] ~docv:"N" ~doc)
+
 (* ---- list ---- *)
 
 let list_cmd =
@@ -215,7 +230,7 @@ let build_cmd =
   let size_arg =
     Arg.(value & opt int 1024 & info [ "nodes" ] ~docv:"N" ~doc:"Overlay size.")
   in
-  let run verbose variant latency seed scale strategy size probe_window =
+  let run verbose variant latency seed scale strategy size probe_window domains =
     setup_logs verbose;
     let oracle = Workload.Ctx.oracle ~scale variant latency in
     let b =
@@ -225,6 +240,7 @@ let build_cmd =
           Builder.overlay_size = size / scale;
           strategy;
           probe = { Engine.Probe.default_config with Engine.Probe.window = probe_window };
+          domains;
           seed;
         }
     in
@@ -244,7 +260,7 @@ let build_cmd =
     (Cmd.info "build" ~doc:"Build a topology-aware overlay and measure routing stretch")
     Term.(
       const run $ verbose_arg $ variant_arg $ latency_arg $ seed_arg $ scale_arg $ strategy_arg
-      $ size_arg $ probe_window_arg)
+      $ size_arg $ probe_window_arg $ domains_arg)
 
 (* ---- churn ---- *)
 
@@ -278,12 +294,13 @@ let churn_cmd =
              ~doc:"Notification digest window in virtual ms (0 disables batching).")
   in
   let run verbose seed scale crashes leaves joins loss staleness shards digest_window
-      probe_window =
+      probe_window domains =
     if loss < 0.0 || loss > 1.0 then `Error (false, "--loss must be in [0,1]")
     else if staleness < 0.0 || staleness > 1.0 then `Error (false, "--staleness must be in [0,1]")
     else if shards < 1 then `Error (false, "--shards must be >= 1")
     else if digest_window < 0.0 then `Error (false, "--digest-window must be >= 0")
     else if probe_window < 1 then `Error (false, "--probe-window must be >= 1")
+    else if domains < 0 then `Error (false, "--domains must be >= 0")
     else begin
       setup_logs verbose;
       let storm =
@@ -296,8 +313,8 @@ let churn_cmd =
         }
       in
       let channel = { Engine.Faults.loss; delay_min = 5.0; delay_max = 50.0 } in
-      Workload.Exp_churn.run_custom ~scale ~seed ~shards ~digest_window ~probe_window ~storm
-        ~channel ppf;
+      Workload.Exp_churn.run_custom ~scale ~seed ~shards ~digest_window ~probe_window ~domains
+        ~storm ~channel ppf;
       `Ok ()
     end
   in
@@ -309,7 +326,22 @@ let churn_cmd =
     Term.(
       ret
         (const run $ verbose_arg $ seed_arg $ scale_arg $ crashes_arg $ leaves_arg $ joins_arg
-        $ loss_arg $ stale_arg $ shards_arg $ digest_arg $ probe_window_arg))
+        $ loss_arg $ stale_arg $ shards_arg $ digest_arg $ probe_window_arg $ domains_arg))
+
+(* ---- domains ---- *)
+
+let domains_cmd =
+  let run verbose scale =
+    setup_logs verbose;
+    Workload.Exp_domains.run ~scale ppf
+  in
+  Cmd.v
+    (Cmd.info "domains"
+       ~doc:
+         "Run the domain-parallel hosting workload at pool sizes 1, 2 and 4, verify the \
+          metrics JSON is byte-identical across them (the DESIGN.md §12 determinism \
+          contract) and print the wall-clock speedup table")
+    Term.(const run $ verbose_arg $ scale_arg)
 
 (* ---- repair ---- *)
 
@@ -481,4 +513,4 @@ let trace_cmd =
 let () =
   let doc = "Topology-aware overlay construction using global soft-state (ICDCS 2003)" in
   let info = Cmd.info "topoaware" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; experiment_cmd; gen_topology_cmd; topo_info_cmd; nn_search_cmd; build_cmd; churn_cmd; repair_cmd; cache_cmd; trace_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; experiment_cmd; gen_topology_cmd; topo_info_cmd; nn_search_cmd; build_cmd; churn_cmd; repair_cmd; cache_cmd; domains_cmd; trace_cmd ]))

@@ -23,6 +23,7 @@ type config = {
   curve : Landmark.Number.curve;
   index_dims : int;
   probe : Engine.Probe.config;
+  domains : int;
   seed : int;
 }
 
@@ -39,6 +40,7 @@ let default_config =
     curve = Number.Hilbert_curve;
     index_dims = 3;
     probe = Engine.Probe.default_config;
+    domains = 0;
     seed = 42;
   }
 
@@ -133,12 +135,21 @@ let build ?metrics ?labels ?trace ?(clock = fun () -> 0.0) oracle config =
     { (Number.default_scheme ~curve:config.curve ~max_latency ()) with
       Number.index_dims = min config.index_dims config.landmark_count }
   in
+  if config.domains < 0 then invalid_arg "Builder.build: domains must be >= 0";
+  (* domains = 0 defers to the ambient pool (TOPOAWARE_DOMAINS or a
+     Dpool.set_default override); n >= 1 pins an interned n-domain pool.
+     Either way the store and prober share one pool, and by the DESIGN.md
+     §12 contract the choice never changes any result or metric. *)
+  let pool =
+    if config.domains = 0 then Engine.Dpool.default ()
+    else Engine.Dpool.get ~domains:config.domains
+  in
   let store =
-    Store.create ?metrics ?labels ?trace ~shards:config.shards ~condense:config.condense
+    Store.create ?metrics ?labels ?trace ~pool ~shards:config.shards ~condense:config.condense
       ~default_ttl:config.ttl ~clock ~scheme can
   in
   let prober =
-    Engine.Probe.create ?metrics ?labels ?trace ~clock ~config:config.probe
+    Engine.Probe.create ?metrics ?labels ?trace ~clock ~pool ~config:config.probe
       ~measure:(Oracle.measure oracle) ()
   in
   let vectors = Hashtbl.create (Array.length members) in

@@ -20,6 +20,13 @@ type config = {
   probe : Engine.Probe.config;
       (** probe-plane configuration shared by every RTT measurement the
           overlay spends (landmark vectors, per-slot selection) *)
+  domains : int;
+      (** domain pool hosting the store's shard-parallel phases and the
+          prober's batch prefetch: [0] (the default) uses the ambient
+          {!Engine.Dpool.default} pool (the [TOPOAWARE_DOMAINS]
+          environment variable, or 1); [n >= 1] pins the interned
+          [n]-domain pool.  By the determinism contract (DESIGN.md §12)
+          the value never changes results or metrics — only wall-clock. *)
   seed : int;
 }
 
@@ -27,7 +34,7 @@ val default_config : config
 (** Table 2 defaults: 2-d eCAN, span 2, 4096 members, 15 landmarks,
     [Hybrid {rtts = 10}], condense 1.0, ttl 600,000 ms, 1 shard, Hilbert,
     index_dims 3, probe {!Engine.Probe.default_config} (sequential,
-    uncached — the seed path), seed 42. *)
+    uncached — the seed path), domains 0 (ambient pool), seed 42. *)
 
 type join_cost = {
   vector_ms : float;  (** modelled wall-clock of the landmark-vector batch *)

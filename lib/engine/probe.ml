@@ -41,8 +41,14 @@ type t = {
   sim : Sim.t option;
   clock : unit -> float;
   faults : Faults.t option;
+  pool : Dpool.t option;
+      (* when present, batch measurements are prefetched in parallel and
+         the classic sequential schedule replayed against the memo *)
   cache : (int * int, cache_entry) Hashtbl.t;
   obs : instruments option;
+  dobs : (Metrics.counter * Metrics.counter) option;
+      (* (domain_batches, domain_tasks) dispatch accounting; registered
+         only when both metrics and a pool are present *)
   tracer : Trace.t option;
   mutable probes : int;
   mutable failures : int;
@@ -52,7 +58,7 @@ type t = {
   mutable total_elapsed : float;
 }
 
-let create ?metrics ?(labels = []) ?trace ?faults ?sim ?clock
+let create ?metrics ?(labels = []) ?trace ?faults ?sim ?clock ?pool
     ?(config = default_config) ~measure () =
   if config.window < 1 then invalid_arg "Probe.create: window must be >= 1";
   if not (config.timeout > 0.0) then invalid_arg "Probe.create: timeout must be positive";
@@ -83,14 +89,22 @@ let create ?metrics ?(labels = []) ?trace ?faults ?sim ?clock
         })
       metrics
   in
+  let dobs =
+    match (metrics, pool) with
+    | Some m, Some _ ->
+      Some (Metrics.counter m ~labels "domain_batches", Metrics.counter m ~labels "domain_tasks")
+    | _ -> None
+  in
   {
     config;
     measure;
     sim;
     clock;
     faults;
+    pool;
     cache = Hashtbl.create 256;
     obs;
+    dobs;
     tracer = trace;
     probes = 0;
     failures = 0;
@@ -129,6 +143,16 @@ let cache_find t ~src ~dst ~now =
       None
   end
 
+(* Counter-free peek used by the prefetch planner: hit/miss/stale
+   accounting must happen exactly once per probe, during the replay's
+   [cache_find], never here. *)
+let cached_fresh t ~src ~dst ~now =
+  t.config.cache_ttl > 0.0
+  &&
+  match Hashtbl.find_opt t.cache (src, dst) with
+  | Some e -> e.expires > now
+  | None -> false
+
 let cache_store t ~src ~dst ~at rtt =
   if t.config.cache_ttl > 0.0 then
     Hashtbl.replace t.cache (src, dst) { rtt; expires = at +. t.config.cache_ttl }
@@ -145,13 +169,13 @@ let invalidate t node =
    [at]: measure, let the channel decide the attempt's fate, and either
    complete or burn the timeout + backoff and try again.  Returns the
    outcome together with the slot's release time and the attempts spent. *)
-let run_attempts t ~src ~dst ~at =
+let run_attempts t ~measure ~src ~dst ~at =
   let cfg = t.config in
   (* A lost probe with an infinite timeout would never be detected; model
      detection as instant so the schedule stays finite. *)
   let detect = if Float.is_finite cfg.timeout then cfg.timeout else 0.0 in
   let rec go k at =
-    let rtt = t.measure src dst in
+    let rtt = measure src dst in
     obs_incr t (fun o -> o.i_measured);
     let fate =
       match t.faults with None -> Some rtt | Some f -> Faults.perturb f rtt
@@ -171,6 +195,59 @@ let run_attempts t ~src ~dst ~at =
   in
   go 1 at
 
+(* Phase 1 of a pool-backed batch: measure every {e unique, uncached}
+   destination in parallel and memoise the RTTs.  The replay (phase 2)
+   consumes each memo entry on that destination's {e first} measurement
+   and calls [t.measure] directly for any further attempt or duplicate —
+   so as long as the measurement function is deterministic per pair (and
+   domain-safe), the RTT values, the total call count against the
+   underlying oracle, and every downstream decision are byte-identical to
+   the sequential path; only which domain performed a call changes.
+
+   Chunking is fixed at [prefetch_chunk] destinations per task, so the
+   dispatch structure (and the [domain_*] counters) depends only on the
+   batch contents, never on the pool size. *)
+let prefetch_chunk = 8
+
+let prefetch t ~src ~dsts ~now =
+  match t.pool with
+  | None -> None
+  | Some pool ->
+    let seen = Hashtbl.create 16 in
+    let uniq = ref [] in
+    Array.iter
+      (fun dst ->
+        if (not (Hashtbl.mem seen dst)) && not (cached_fresh t ~src ~dst ~now) then begin
+          Hashtbl.replace seen dst ();
+          uniq := dst :: !uniq
+        end)
+      dsts;
+    let uniq = Array.of_list (List.rev !uniq) in
+    let n = Array.length uniq in
+    if n < 2 then None
+    else begin
+      let tasks = (n + prefetch_chunk - 1) / prefetch_chunk in
+      (match t.dobs with
+      | Some (batches, task_count) ->
+        Metrics.incr batches;
+        Metrics.add task_count tasks
+      | None -> ());
+      let slices =
+        Dpool.run pool tasks (fun j ->
+            let lo = j * prefetch_chunk in
+            let hi = min n (lo + prefetch_chunk) in
+            Array.init (hi - lo) (fun k -> t.measure src uniq.(lo + k)))
+      in
+      let memo = Hashtbl.create n in
+      Array.iteri
+        (fun j slice ->
+          Array.iteri
+            (fun k rtt -> Hashtbl.replace memo uniq.((j * prefetch_chunk) + k) rtt)
+            slice)
+        slices;
+      Some memo
+    end
+
 let run_batch t ~src ~dsts =
   let start = t.clock () in
   let n = Array.length dsts in
@@ -178,6 +255,21 @@ let run_batch t ~src ~dsts =
   let w = max 1 (min t.config.window (max n 1)) in
   let slots = Array.make w start in
   let finished = ref start in
+  let memo = prefetch t ~src ~dsts ~now:start in
+  (* First measurement of a destination consumes its memo entry; retries
+     and duplicates fall through to the real measurement function, so the
+     oracle sees the sequential path's call count exactly. *)
+  let measure =
+    match memo with
+    | None -> t.measure
+    | Some memo ->
+      fun s d ->
+        (match Hashtbl.find_opt memo d with
+        | Some rtt ->
+          Hashtbl.remove memo d;
+          rtt
+        | None -> t.measure s d)
+  in
   Array.iteri
     (fun j dst ->
       t.probes <- t.probes + 1;
@@ -193,7 +285,7 @@ let run_batch t ~src ~dsts =
         done;
         let slot_start = slots.(!si) in
         obs_observe t (fun o -> o.i_queue_wait) (slot_start -. start);
-        let outcome, slot_end, attempts = run_attempts t ~src ~dst ~at:slot_start in
+        let outcome, slot_end, attempts = run_attempts t ~measure ~src ~dst ~at:slot_start in
         (match outcome with
         | Ok rtt ->
           cache_store t ~src ~dst ~at:slot_end rtt;

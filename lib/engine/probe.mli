@@ -28,7 +28,18 @@
     Determinism rules: measurement order is the submission (FIFO) order,
     slot assignment ties resolve to the lowest slot index, and all
     channel randomness comes from the injector's seeded stream — the same
-    seed replays the same batch timings byte for byte. *)
+    seed replays the same batch timings byte for byte.
+
+    With a domain [pool], a batch runs as {e prefetch + ordered replay}
+    (DESIGN.md §12): unique uncached destinations are measured in
+    parallel into a memo, then the classic sequential schedule replays
+    verbatim, consuming each memo entry on that destination's first
+    measurement.  Every result, counter, trace span and the underlying
+    oracle's call count stay byte-identical to the pool-less path;
+    parallelism only changes which domain performs a measurement.  This
+    requires the measurement function to be deterministic per [(src,
+    dst)] pair and safe to call from worker domains (e.g.
+    [Topology.Oracle.measure], whose budget counter is atomic). *)
 
 type config = {
   window : int;  (** concurrent in-flight probes per operation, >= 1 *)
@@ -73,6 +84,7 @@ val create :
   ?faults:Faults.t ->
   ?sim:Sim.t ->
   ?clock:(unit -> float) ->
+  ?pool:Dpool.t ->
   ?config:config ->
   measure:(int -> int -> float) -> unit -> t
 (** Fresh prober around a measurement function (typically
@@ -82,10 +94,19 @@ val create :
     [faults] perturbs each attempt through {!Faults.perturb} (loss and
     extra delay).  [sim] enables {!submit}/{!submit_batch} and provides
     the default clock; [clock] overrides it (default: frozen at 0).
+
+    [pool] turns {!run_batch} into prefetch + ordered replay (see the
+    module header); omitted, every measurement runs inline on the calling
+    domain.  With a pool, [measure] must be deterministic per pair and
+    domain-safe.
+
     With [metrics], the prober maintains [probe_*] counters and the
-    [probe_queue_wait]/[probe_batch_ms] histograms; with [trace], each
-    fresh measurement emits an [rtt_probe] span whose note carries the
-    queue wait and attempt count ([q=<ms>;try=<n>]).
+    [probe_queue_wait]/[probe_batch_ms] histograms; with both [metrics]
+    and [pool] it also maintains [domain_batches]/[domain_tasks] —
+    prefetch dispatches and tasks, a function of batch contents alone and
+    hence identical across pool sizes.  With [trace], each fresh
+    measurement emits an [rtt_probe] span whose note carries the queue
+    wait and attempt count ([q=<ms>;try=<n>]).
 
     Raises [Invalid_argument] on out-of-range config fields. *)
 

@@ -123,6 +123,8 @@ let cancel timer =
 
 let pending t = t.queue.Queue.size
 
+let next_time t = Option.map (fun e -> e.time) (Queue.peek t.queue)
+
 let step t =
   match Queue.pop t.queue with
   | None -> false

@@ -4,7 +4,17 @@
     latencies) and an event queue.  Callbacks may schedule further events.
     Execution is single-threaded and fully deterministic: events fire in
     nondecreasing time order, and events scheduled for the same instant
-    fire in the order they were scheduled. *)
+    fire in the order they were scheduled — the total order is the pair
+    [(time, seq)] where [seq] is the global scheduling sequence number.
+
+    This ordering is the spine of the {e determinism contract} for
+    domain-parallel hosting (DESIGN.md §12): shard work may fan out to
+    worker domains between events, but every cross-shard {e effect} is
+    applied on the coordinator — either sequentially in task order inside
+    the current event, or by scheduling a new event here.  Each timestamp
+    runs to completion before the clock advances, and same-instant events
+    merge by [(time, seq)], so multi-domain runs replay the single-domain
+    event order byte for byte. *)
 
 type t
 
@@ -39,6 +49,13 @@ val cancel : timer -> unit
 val pending : t -> int
 (** Number of events still queued (cancelled events may be counted until
     they are reaped). *)
+
+val next_time : t -> float option
+(** Timestamp of the earliest queued event, or [None] on an empty queue.
+    [next_time t > Some (now t)] exactly when the current instant has run
+    to completion — the boundary at which domain-parallel phases are
+    allowed to observe state (cancelled events still count until
+    reaped). *)
 
 val step : t -> bool
 (** Run the next event, advancing the clock.  Returns [false] when the

@@ -37,6 +37,8 @@ type obs = {
   refreshes : Engine.Metrics.counter;
   expired : Engine.Metrics.counter;
   sweep_visited : Engine.Metrics.counter;
+  domain_batches : Engine.Metrics.counter;
+  domain_tasks : Engine.Metrics.counter;
   tracer : Engine.Trace.t option;
 }
 
@@ -53,6 +55,9 @@ type t = {
   node_index : (int, (int, Entry.t) Hashtbl.t) Hashtbl.t;
       (* described node -> region key -> entry; reverse index so the
          per-node operations avoid scanning every map *)
+  pool : Engine.Dpool.t;
+      (* hosts shard-parallel phases (sweep scans, rehost, stats); shard
+         i's heap is only ever touched from slot i of this pool *)
   obs : obs option;
 }
 
@@ -69,7 +74,7 @@ let region_name bits =
    on different shards and each shard's heap is swept independently. *)
 let shard_of_key t key = key mod Array.length t.shards
 
-let create ?metrics ?(labels = []) ?trace ?(shards = 1) ?(condense = 1.0)
+let create ?metrics ?(labels = []) ?trace ?pool ?(shards = 1) ?(condense = 1.0)
     ?(base_fraction = 0.125) ?(default_ttl = 600_000.0) ?(clock = fun () -> 0.0) ~scheme can =
   if shards < 1 then invalid_arg "Store.create: shards must be >= 1";
   if condense <= 0.0 then invalid_arg "Store.create: condense must be positive";
@@ -84,6 +89,8 @@ let create ?metrics ?(labels = []) ?trace ?(shards = 1) ?(condense = 1.0)
           refreshes = Engine.Metrics.counter m ~labels "store_refreshes";
           expired = Engine.Metrics.counter m ~labels "store_expired";
           sweep_visited = Engine.Metrics.counter m ~labels "store_sweep_visited";
+          domain_batches = Engine.Metrics.counter m ~labels "domain_batches";
+          domain_tasks = Engine.Metrics.counter m ~labels "domain_tasks";
           tracer = trace;
         })
       metrics
@@ -99,8 +106,28 @@ let create ?metrics ?(labels = []) ?trace ?(shards = 1) ?(condense = 1.0)
     regions = Hashtbl.create 256;
     shards = Array.init shards (fun _ -> { expiry = Heap.create () });
     node_index = Hashtbl.create 256;
+    pool = (match pool with Some p -> p | None -> Engine.Dpool.default ());
     obs;
   }
+
+(* Dispatch accounting: batch/task counts depend only on the call sites
+   and shard count, never on the pool size, so they are byte-identical
+   across single- and multi-domain runs. *)
+let pool_run t n f =
+  (match t.obs with
+  | Some o ->
+    Engine.Metrics.incr o.domain_batches;
+    Engine.Metrics.add o.domain_tasks n
+  | None -> ());
+  Engine.Dpool.run t.pool n f
+
+let pool_run_on t ~slot f =
+  (match t.obs with
+  | Some o ->
+    Engine.Metrics.incr o.domain_batches;
+    Engine.Metrics.add o.domain_tasks 1
+  | None -> ());
+  Engine.Dpool.run_on t.pool ~slot f
 
 let can t = t.can
 let scheme t = t.scheme
@@ -371,32 +398,65 @@ let entries_at_host t host =
       | None -> acc)
     t.maps 0
 
-let avg_entries_per_node t =
+(* Per-host entry counts for every overlay node, computed in shard-count
+   many read-only chunks (the chunk count is tied to the shard count, not
+   the pool size, so dispatch accounting stays pool-size-invariant).
+   Task j counts the j-th contiguous slice of the node-id array; the
+   slices concatenate back in node order, identical to a sequential
+   map. *)
+let host_counts t =
   let ids = Can_overlay.node_ids t.can in
-  if Array.length ids = 0 then 0.0
+  let n = Array.length ids in
+  if n = 0 then [||]
   else begin
-    let total = Array.fold_left (fun acc id -> acc + entries_at_host t id) 0 ids in
-    float_of_int total /. float_of_int (Array.length ids)
+    let chunks = min n (Array.length t.shards) in
+    let per = (n + chunks - 1) / chunks in
+    let slices =
+      pool_run t chunks (fun j ->
+          let lo = j * per in
+          let hi = min n (lo + per) in
+          Array.init (max 0 (hi - lo)) (fun k -> entries_at_host t ids.(lo + k)))
+    in
+    Array.concat (Array.to_list slices)
+  end
+
+let avg_entries_per_node t =
+  let counts = host_counts t in
+  if Array.length counts = 0 then 0.0
+  else begin
+    let total = Array.fold_left ( + ) 0 counts in
+    float_of_int total /. float_of_int (Array.length counts)
   end
 
 let hosting_stats t =
   let counts =
-    Array.to_list (Array.map (entries_at_host t) (Can_overlay.node_ids t.can))
+    Array.to_list (host_counts t)
     |> List.filter (fun c -> c > 0)
     |> List.map float_of_int
   in
   Prelude.Stats.summarize (Array.of_list counts)
 
-(* Pop a shard's heap while the minimum stamp is due.  Each popped record
-   is checked against the current map contents: only a record whose entry
-   is still exactly the one in the map, and whose current stamp is due,
-   purges; everything else is a stale record from a superseded stamp.
+(* Sweeping is split into a {e scan} phase that may run on the shard's
+   home domain and an {e apply} phase that always runs on the
+   coordinator (DESIGN.md §12).
+
+   Scan pops the shard's heap while the minimum stamp is due.  Each
+   popped record is checked against the current map contents: only a
+   record whose entry is still exactly the one in the map, and whose
+   current stamp is due, is a purge candidate; everything else is a stale
+   record from a superseded stamp.  The scan mutates nothing but the
+   shard-private heap — map reads are concurrent-safe because nothing
+   writes the maps while a scan batch is in flight — so scanning shards
+   in parallel observes exactly the state a sequential sweep would.
+   [claimed] replays the sequential semantics for duplicate due records
+   of one entry (stamp moved, both stamps due): only the first purges.
    Cost: O((expired + stale) * log heap) — independent of the number of
    live entries. *)
-let sweep_shard_raw t i now =
+let scan_shard_due t i now =
   let heap = t.shards.(i).expiry in
   let visited = ref 0 in
-  let purged = ref [] in
+  let claimed = Hashtbl.create 16 in
+  let due = ref [] in
   let rec loop () =
     match Heap.peek heap with
     | Some (prio, _) when prio <= now ->
@@ -406,9 +466,11 @@ let sweep_shard_raw t i now =
         (match Hashtbl.find_opt t.maps r.hr_key with
         | Some m ->
           (match Hashtbl.find_opt m.entries r.hr_entry.Entry.node with
-          | Some cur when cur == r.hr_entry && cur.Entry.expires <= now ->
-            remove_entry t ~key:r.hr_key m cur;
-            purged := (Hashtbl.find t.regions r.hr_key, cur) :: !purged
+          | Some cur
+            when cur == r.hr_entry && cur.Entry.expires <= now
+                 && not (Hashtbl.mem claimed (r.hr_key, cur.Entry.node)) ->
+            Hashtbl.replace claimed (r.hr_key, cur.Entry.node) ();
+            due := (r.hr_key, cur) :: !due
           | Some _ | None -> ())
         | None -> ());
         loop ()
@@ -416,7 +478,23 @@ let sweep_shard_raw t i now =
     | Some _ | None -> ()
   in
   loop ();
-  (List.rev !purged, !visited)
+  (List.rev !due, !visited)
+
+(* Apply a scan's purge candidates in scan order, on the coordinator —
+   the deterministic merge point for cross-shard effects. *)
+let apply_purges t due =
+  List.map
+    (fun (key, (cur : Entry.t)) ->
+      let m = Hashtbl.find t.maps key in
+      remove_entry t ~key m cur;
+      (Hashtbl.find t.regions key, cur))
+    due
+
+let sweep_shard_raw t i now =
+  (* Single-shard sweep: the scan still runs on the shard's home domain
+     (slot i of the pool), the apply runs here. *)
+  let due, visited = pool_run_on t ~slot:i (fun () -> scan_shard_due t i now) in
+  (apply_purges t due, visited)
 
 let observe_sweep t ~visited ~purged =
   match t.obs with
@@ -439,15 +517,13 @@ let sweep_shard t i =
 
 let sweep_expired t =
   let now = t.clock () in
-  let visited = ref 0 in
-  let purged = ref [] in
-  for i = 0 to Array.length t.shards - 1 do
-    let p, v = sweep_shard_raw t i now in
-    visited := !visited + v;
-    purged := p :: !purged
-  done;
-  let purged = List.concat (List.rev !purged) in
-  observe_sweep t ~visited:!visited ~purged;
+  (* One batch: shard i's scan is task i (stable placement keeps each heap
+     on its home slot), then the purges apply sequentially in shard order —
+     the same order the sequential per-shard loop used. *)
+  let scans = pool_run t (Array.length t.shards) (fun i -> scan_shard_due t i now) in
+  let visited = Array.fold_left (fun acc (_, v) -> acc + v) 0 scans in
+  let purged = List.concat_map (fun (due, _) -> apply_purges t due) (Array.to_list scans) in
+  observe_sweep t ~visited ~purged;
   purged
 
 let expire_sweep t = List.length (sweep_expired t)
@@ -488,13 +564,22 @@ let inject_staleness t ~rng ~fraction =
   !aged
 
 let rehost t =
-  Hashtbl.iter
-    (fun _ m ->
-      Hashtbl.reset m.by_host;
-      Hashtbl.iter
-        (fun _ e -> host_add m (Can_overlay.owner_of t.can e.Entry.position) e)
-        m.entries)
-    t.maps
+  (* Embarrassingly parallel by shard: task i rebuilds the host index of
+     exactly the maps shard i owns, so no two tasks ever touch the same
+     map.  [owner_of] is a pure read of the overlay, and the per-map work
+     is independent of iteration order, so the rebuilt indexes are
+     identical to the sequential pass regardless of pool size. *)
+  ignore
+    (pool_run t (Array.length t.shards) (fun i ->
+         Hashtbl.iter
+           (fun _ m ->
+             if m.shard = i then begin
+               Hashtbl.reset m.by_host;
+               Hashtbl.iter
+                 (fun _ e -> host_add m (Can_overlay.owner_of t.can e.Entry.position) e)
+                 m.entries
+             end)
+           t.maps))
 
 let check_invariants t =
   let ( let* ) r f = Result.bind r f in

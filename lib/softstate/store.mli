@@ -33,6 +33,7 @@ val create :
   ?metrics:Engine.Metrics.t ->
   ?labels:Engine.Metrics.labels ->
   ?trace:Engine.Trace.t ->
+  ?pool:Engine.Dpool.t ->
   ?shards:int ->
   ?condense:float ->
   ?base_fraction:float ->
@@ -47,6 +48,15 @@ val create :
     into independently-swept shards, each with its own TTL expiry heap;
     sharding never changes which entries exist, only how sweep work is
     scheduled (see {!sweep_shard}).
+
+    [pool] (default {!Engine.Dpool.default}[ ()]) hosts the store's
+    shard-parallel phases: sweep {e scans}, {!rehost} and the
+    {!hosting_stats} counting pass fan out one read-only (or
+    shard-disjoint) task per shard, while every mutation of shared state
+    is applied on the calling domain in shard order.  The contract
+    (DESIGN.md §12) guarantees results — including all metrics below —
+    are byte-identical across pool sizes; shard [i]'s expiry heap is only
+    ever touched from slot [i mod size] of the pool.
 
     [condense] (default 1.0) is the paper's map condense/reduction rate:
     the map of a region occupies the sub-box of the region with volume
@@ -63,7 +73,13 @@ val create :
     [store_refreshes] / [store_expired] / [store_sweep_visited] counters
     (plus any [labels]); [store_sweep_visited] counts expiry-heap records
     popped by sweeps — it scales with the number of expired entries (plus
-    superseded stamps), not with the total entry population.  With
+    superseded stamps), not with the total entry population.  It also
+    maintains [domain_batches] / [domain_tasks]: pool dispatches and
+    tasks issued by the shard-parallel phases.  These count {e dispatch
+    structure} (batches per call site, tasks per shard/chunk), which
+    depends only on the data and the shard count — never on the pool
+    size — so they stay byte-identical between single- and multi-domain
+    runs and serve as regression gates on the parallel plumbing.  With
     [trace], every {!publish} emits a [Map_publish] span (node = map
     host, peer = described node, note = region path bits) and every
     sweep emits a [Ttl_sweep] span noting the purge count. *)
@@ -177,12 +193,18 @@ val sweep_expired : t -> (int array * Entry.t) list
     notifications for the region's subscribers.  Sweeps every shard; the
     cost is O(expired · log heap), independent of the live population, and
     the purge order is deterministic (ascending expiry within a shard,
-    shards in index order). *)
+    shards in index order).
+
+    Runs as one pool batch of shard-count scan tasks: each shard's heap
+    is popped and its due entries collected on the shard's home slot
+    (reads only), then all purges are applied on the calling domain in
+    shard order — reproducing the sequential purge order exactly. *)
 
 val sweep_shard : t -> int -> (int array * Entry.t) list
 (** Sweep a single shard (raises [Invalid_argument] out of range) — the
     unit of work a maintenance plane schedules independently per shard so
-    no single sweep touches the whole store. *)
+    no single sweep touches the whole store.  The scan runs on the
+    shard's home pool slot, the purges apply on the calling domain. *)
 
 val expire_node : t -> int -> int
 (** Fault injection: age every live entry describing the node so it is
@@ -195,7 +217,10 @@ val inject_staleness : t -> rng:Prelude.Rng.t -> fraction:float -> int
 
 val rehost : t -> unit
 (** Recompute entry hosting after overlay membership changed (zones moved).
-    Positions are stable; only the position->owner assignment is redone. *)
+    Positions are stable; only the position->owner assignment is redone.
+    Shard-parallel: task [i] rebuilds the host indexes of exactly the maps
+    shard [i] owns, so no two tasks share a map and the result is
+    independent of the pool size. *)
 
 val check_invariants : t -> (unit, string) result
 (** Entry positions lie in their map boxes; hosting matches CAN ownership;

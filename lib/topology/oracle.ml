@@ -10,7 +10,11 @@ type backend =
   | Hierarchical of hierarchical
   | Dense of { nodes : int; all_pairs : float array array }
 
-type t = { backend : backend; mutable count : int }
+(* The measurement budget is an atomic so [measure] is domain-safe: the
+   probe plane's prefetch phase (Engine.Dpool) measures from worker
+   domains, and an atomic sum is independent of execution order — which
+   keeps the counter byte-identical across pool sizes. *)
+type t = { backend : backend; count : int Atomic.t }
 
 let build (topo : Transit_stub.t) =
   let n = Graph.node_count topo.graph in
@@ -36,12 +40,12 @@ let build (topo : Transit_stub.t) =
       let gw_local = local_idx.(topo.stub_attach_stub_node.(s)) in
       Array.iter (fun id -> to_gateway.(id) <- stub_dist.(s).(local_idx.(id)).(gw_local)) members)
     topo.stub_members;
-  { backend = Hierarchical { topo; core_dist; stub_dist; local_idx; to_gateway }; count = 0 }
+  { backend = Hierarchical { topo; core_dist; stub_dist; local_idx; to_gateway }; count = Atomic.make 0 }
 
 let of_graph graph =
   let n = Graph.node_count graph in
   let all_pairs = Array.init n (fun src -> Dijkstra.distances graph src) in
-  { backend = Dense { nodes = n; all_pairs }; count = 0 }
+  { backend = Dense { nodes = n; all_pairs }; count = Atomic.make 0 }
 
 let topology t =
   match t.backend with Hierarchical h -> Some h.topo | Dense _ -> None
@@ -81,11 +85,11 @@ let dist t u v =
   end
 
 let measure t u v =
-  t.count <- t.count + 1;
+  Atomic.incr t.count;
   dist t u v
 
-let measurements t = t.count
-let reset_measurements t = t.count <- 0
+let measurements t = Atomic.get t.count
+let reset_measurements t = Atomic.set t.count 0
 
 let nearest t u candidates =
   let best = ref None in

@@ -34,7 +34,10 @@ val dist : t -> int -> int -> float
     measurement. *)
 
 val measure : t -> int -> int -> float
-(** Same as [dist] but increments the RTT-measurement counter. *)
+(** Same as [dist] but increments the RTT-measurement counter.  The
+    counter is atomic and [dist] is a pure lookup, so [measure] is safe
+    to call from worker domains (the probe plane's parallel prefetch);
+    the count stays independent of execution order. *)
 
 val measurements : t -> int
 (** Number of [measure] calls since creation or the last reset. *)

@@ -202,7 +202,7 @@ let pastry_convergence ?(samples = 64) ~seed mesh =
 
 let ecan_outcomes ?(size = 256) ?(seed = 11) ?(storm = Faults.default_storm)
     ?(channel = Faults.reliable) ?(shards = 1) ?(digest_window = 0.0) ?(probe_window = 1)
-    oracle =
+    ?(domains = 0) oracle =
   let sim = Sim.create () in
   let faults = Faults.create ~channel ~seed:(seed * 1009 + 1) () in
   let config =
@@ -211,6 +211,7 @@ let ecan_outcomes ?(size = 256) ?(seed = 11) ?(storm = Faults.default_storm)
       ttl;
       shards;
       probe = { Engine.Probe.default_config with Engine.Probe.window = probe_window };
+      domains;
       seed = seed * 1009 + 2 }
   in
   (* The whole eCAN stack reports into the global registry under an
@@ -515,11 +516,12 @@ let pastry_outcome ?(size = 256) ?(seed = 11) ?(storm = Faults.default_storm) or
 let default_channel = { Faults.loss = 0.05; delay_min = 5.0; delay_max = 50.0 }
 
 let run_custom ?(scale = 1) ?(seed = 11) ?(shards = 1) ?(digest_window = 0.0)
-    ?(probe_window = 1) ~storm ~channel ppf =
+    ?(probe_window = 1) ?(domains = 0) ~storm ~channel ppf =
   let oracle = Ctx.oracle ~scale Ctx.Tsk_large Topology.Transit_stub.Manual in
   let size = max 96 (768 / scale) in
   let ecan_o, can_o =
-    ecan_outcomes ~size ~seed ~storm ~channel ~shards ~digest_window ~probe_window oracle
+    ecan_outcomes ~size ~seed ~storm ~channel ~shards ~digest_window ~probe_window ~domains
+      oracle
   in
   let chord_o = chord_outcome ~size ~seed ~storm oracle in
   let pastry_o = pastry_outcome ~size ~seed ~storm oracle in

@@ -59,6 +59,7 @@ val ecan_outcomes :
   ?shards:int ->
   ?digest_window:float ->
   ?probe_window:int ->
+  ?domains:int ->
   Topology.Oracle.t ->
   outcome * outcome
 (** Drive an eCAN (with pub/sub repair, liveness polling, TTL sweeps and
@@ -70,7 +71,10 @@ val ecan_outcomes :
     batches notifications into per-(subscriber, region) digests
     ({!Pubsub.Bus.create}); [probe_window] (default 1, i.e. sequential)
     sets the probe plane's concurrency ({!Engine.Probe}) — it changes
-    modelled probe wall-clock only, never which probes are sent. *)
+    modelled probe wall-clock only, never which probes are sent;
+    [domains] (default 0 = ambient) sets the domain pool hosting the
+    store and prober ({!Core.Builder} [config.domains]) — it changes real
+    wall-clock only, never any result or metric (DESIGN.md §12). *)
 
 val chord_outcome :
   ?size:int -> ?seed:int -> ?storm:Engine.Faults.storm -> Topology.Oracle.t -> outcome
@@ -91,10 +95,11 @@ val run_custom :
   ?shards:int ->
   ?digest_window:float ->
   ?probe_window:int ->
+  ?domains:int ->
   storm:Engine.Faults.storm ->
   channel:Engine.Faults.channel ->
   Format.formatter ->
   unit
-(** [run] with an explicit storm, channel, store sharding and digest
-    window (the CLI hook; the maintenance-plane knobs only affect the
-    eCAN row). *)
+(** [run] with an explicit storm, channel, store sharding, digest window
+    and domain pool (the CLI hook; the maintenance-plane knobs only
+    affect the eCAN row). *)

@@ -39,6 +39,8 @@ let all =
       (fun ?scale ppf -> Exp_repair.run ?scale ppf);
     entry "cache" "Service layer: topology-aware Zipf content cache (all overlays)"
       (fun ?scale ppf -> Exp_cache.run ?scale ppf);
+    entry "domains" "Domain-parallel hosting: byte-identical metrics across pool sizes"
+      (fun ?scale ppf -> Exp_domains.run ?scale ppf);
   ]
 
 let find name = List.find_opt (fun e -> e.name = name) all

@@ -21,6 +21,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("workload", Test_workload.suite);
       ("cache", Test_cache.suite);
+      ("domains", Test_domains.suite);
       ("properties", Test_properties.suite);
       ("edges", Test_edges.suite);
     ]
