@@ -114,9 +114,28 @@ let () =
         if not (List.mem_assoc k b) then added := (name, k) :: !added)
       c
   in
+  (* Allocation-budget section: [alloc_*] counters are exact minor-word
+     budgets per hot-path op (the [alloc] experiment).  They obey the
+     same exact-integer rule as every counter, but drift is reported as
+     an allocation regression in words — and under its own heading — so
+     a hot path that starts allocating reads as such, not as generic
+     counter noise.  Budgets are toolchain-sensitive: regenerate the
+     baseline on a compiler upgrade, never to paper over a regression. *)
+  let alloc_compared = ref 0 in
+  let is_alloc k =
+    String.length k >= 6 && String.sub k 0 6 = "alloc_"
+  in
   let exact_int section_name field k bo co =
     let bv = int_field field bo and cv = int_field field co in
-    if bv <> cv then problem "%s %s: %s %d -> %d (exact match required)" section_name k field bv cv
+    if section_name = "counter" && is_alloc k then begin
+      incr alloc_compared;
+      if bv <> cv then
+        problem
+          "allocation budget %s: %d -> %d minor words/op (exact match required; see EXPERIMENTS.md)"
+          k bv cv
+    end
+    else if bv <> cv then
+      problem "%s %s: %s %d -> %d (exact match required)" section_name k field bv cv
   in
   let close_float section_name field k bo co =
     let bv = float_field field bo and cv = float_field field co in
@@ -152,6 +171,9 @@ let () =
   | [] ->
     Printf.printf "bench-compare: OK — %d instruments match %s (tolerance %.1f%%)\n" !compared
       base_path (100.0 *. !tol);
+    if !alloc_compared > 0 then
+      Printf.printf "bench-compare: allocation budgets held — %d exact minor-word counters\n"
+        !alloc_compared;
     exit 0
   | ps ->
     List.iter prerr_endline (List.rev ps);

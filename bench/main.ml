@@ -137,7 +137,11 @@ let () =
   let rec parse = function
     | [] -> ()
     | "--scale" :: v :: rest ->
-      scale := int_of_string v;
+      (match int_of_string_opt v with
+      | Some s when s >= 1 -> scale := s
+      | Some _ | None ->
+        Format.eprintf "bad --scale %S: expected a positive integer (e.g. --scale 4)@." v;
+        exit 2);
       parse rest
     | "--only" :: v :: rest ->
       only := Some v;

@@ -138,18 +138,31 @@ let path_bit ~dims zone depth point =
   let mid = (zone.Zone.lo.(dim) +. zone.Zone.hi.(dim)) /. 2.0 in
   if point.(dim) >= mid then 1 else 0
 
+(* The split walk only ever narrows one dimension per level and only the
+   bounds of that dimension are consulted, so both descents below track
+   per-dimension lo/hi in two flat arrays instead of allocating two zone
+   records per split (Zone.split copies both bound arrays twice).  The
+   produced bits are identical: the midpoint and the chosen half are
+   computed from the same float values Zone.split would have stored. *)
+
 let path_of_point t ~depth point =
   if Array.length point <> t.dims then invalid_arg "Can.path_of_point: dimension mismatch";
-  let zone = ref (Zone.full t.dims) in
+  let lo = Array.make t.dims 0.0 and hi = Array.make t.dims 1.0 in
   Array.init depth (fun d ->
-    let b = path_bit ~dims:t.dims !zone d point in
-    let lower, upper = Zone.split !zone (Zone.split_dim_at_depth t.dims d) in
-    zone := if b = 0 then lower else upper;
-    b)
+      let dim = Zone.split_dim_at_depth t.dims d in
+      let mid = (lo.(dim) +. hi.(dim)) /. 2.0 in
+      if point.(dim) >= mid then begin
+        lo.(dim) <- mid;
+        1
+      end
+      else begin
+        hi.(dim) <- mid;
+        0
+      end)
 
 let owner_of t point =
   if Array.length point <> t.dims then invalid_arg "Can.owner_of: dimension mismatch";
-  let zone = ref (Zone.full t.dims) in
+  let lo = Array.make t.dims 0.0 and hi = Array.make t.dims 1.0 in
   let bits = Array.make max_depth 0 in
   let rec descend depth =
     if depth > max_depth then failwith "Can.owner_of: tree deeper than max_depth"
@@ -157,10 +170,16 @@ let owner_of t point =
       match Hashtbl.find_opt t.by_path (path_key bits depth) with
       | Some id -> id
       | None ->
-        let b = path_bit ~dims:t.dims !zone depth point in
-        let lower, upper = Zone.split !zone (Zone.split_dim_at_depth t.dims depth) in
-        zone := if b = 0 then lower else upper;
-        bits.(depth) <- b;
+        let dim = Zone.split_dim_at_depth t.dims depth in
+        let mid = (lo.(dim) +. hi.(dim)) /. 2.0 in
+        if point.(dim) >= mid then begin
+          lo.(dim) <- mid;
+          bits.(depth) <- 1
+        end
+        else begin
+          hi.(dim) <- mid;
+          bits.(depth) <- 0
+        end;
         descend (depth + 1)
     end
   in

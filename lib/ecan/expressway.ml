@@ -12,6 +12,11 @@ type t = {
   can : Can_overlay.t;
   span_bits : int;
   tables : (int, int option array array) Hashtbl.t;  (* node -> row -> digit -> entry *)
+  scratch_visited : (int, unit) Hashtbl.t;
+      (* per-route visited set, cleared at the top of every [route] call.
+         Routing is a coordinator-side operation (no caller routes from a
+         pool worker), so one scratch table per expressway is safe and
+         saves a fresh table per routed message. *)
   obs : obs option;
 }
 
@@ -31,7 +36,7 @@ let create ?metrics ?(labels = []) ?trace ?(span_bits = 2) can =
         })
       metrics
   in
-  { can; span_bits; tables = Hashtbl.create 64; obs }
+  { can; span_bits; tables = Hashtbl.create 256; scratch_visited = Hashtbl.create 64; obs }
 
 let can t = t.can
 let span_bits t = t.span_bits
@@ -128,36 +133,47 @@ let route t ~src point =
     invalid_arg "Ecan.route: dimension mismatch";
   let target_bits = Can_overlay.path_of_point canvas ~depth:Can_overlay.max_depth point in
   let target_digit row = digit_of_bits t target_bits row in
-  let visited = Hashtbl.create 32 in
+  let visited = t.scratch_visited in
+  Hashtbl.clear visited;
   let greedy_step u =
-    (* One CAN hop toward the target: nearest unvisited neighbor zone;
-       when an expressway hop has landed amid already-visited zones,
-       permit revisits (the hop guard bounds the walk). *)
-    let best = ref None and best_any = ref None in
-    List.iter
-      (fun vid ->
+    (* One CAN hop toward the target: nearest unvisited neighbor zone
+       (ties to the lowest id); when an expressway hop has landed amid
+       already-visited zones, permit revisits (the hop guard bounds the
+       walk).  Written as a while-loop over the neighbor list with
+       sentinel int/float locals — no closure captures the refs, so they
+       compile to unboxed mutable locals and the scan allocates
+       nothing. *)
+    let ns = ref u.Can_overlay.neighbors in
+    let best_d = ref infinity and best_id = ref (-1) in
+    let any_d = ref infinity and any_id = ref (-1) in
+    while !ns <> [] do
+      match !ns with
+      | [] -> ()
+      | vid :: rest ->
+        ns := rest;
         let v = Can_overlay.node canvas vid in
         let d = Zone.min_torus_dist v.Can_overlay.zone point in
-        (if not (Hashtbl.mem visited vid) then begin
-           match !best with
-           | Some (bd, bid, _) when (bd, bid) <= (d, vid) -> ()
-           | _ -> best := Some (d, vid, v)
-         end);
-        match !best_any with
-        | Some (bd, bid, _) when (bd, bid) <= (d, vid) -> ()
-        | _ -> best_any := Some (d, vid, v))
-      u.Can_overlay.neighbors;
-    match (!best, !best_any) with
-    | Some (_, _, v), _ -> Some v
-    | None, Some (_, _, v) -> Some v
-    | None, None -> None
+        if
+          (not (Hashtbl.mem visited vid))
+          && (!best_id < 0 || d < !best_d || (d = !best_d && vid < !best_id))
+        then begin
+          best_d := d;
+          best_id := vid
+        end;
+        if !any_id < 0 || d < !any_d || (d = !any_d && vid < !any_id) then begin
+          any_d := d;
+          any_id := vid
+        end
+    done;
+    if !best_id >= 0 then !best_id else !any_id
   in
   let express_step u =
     (* First row where our digit differs from the target's: take the
-       table entry into the target's sibling region if we have one. *)
+       table entry into the target's sibling region if we have one.
+       Returns the next node id, or -1 for none. *)
     let nrows = Array.length (Can_overlay.node canvas u.Can_overlay.id).Can_overlay.path / t.span_bits in
     let rec scan row =
-      if row >= nrows then None
+      if row >= nrows then -1
       else begin
         let own = digit_of_bits t u.Can_overlay.path row in
         let tgt = target_digit row in
@@ -170,8 +186,8 @@ let route t ~src point =
             when (not (Hashtbl.mem visited v))
                  && v <> u.Can_overlay.id
                  && Can_overlay.mem canvas v ->
-            Some (Can_overlay.node canvas v)
-          | _ -> None
+            v
+          | _ -> -1
         end
       end
     in
@@ -182,10 +198,9 @@ let route t ~src point =
     else if guard <= 0 then None
     else begin
       Hashtbl.replace visited u.Can_overlay.id ();
-      let next = match express_step u with Some v -> Some v | None -> greedy_step u in
-      match next with
-      | None -> None
-      | Some v -> go v (u.Can_overlay.id :: acc) (guard - 1)
+      let next = match express_step u with -1 -> greedy_step u | v -> v in
+      if next < 0 then None
+      else go (Can_overlay.node canvas next) (u.Can_overlay.id :: acc) (guard - 1)
     end
   in
   let result = go (Can_overlay.node canvas src) [] (4 * Can_overlay.size canvas) in

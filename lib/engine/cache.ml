@@ -215,9 +215,8 @@ let rank_copies t ~client holders =
 let emit_request t ~client ~served_by ~latency note key =
   Option.iter
     (fun tr ->
-      Trace.emit tr ~dur:latency ~peer:served_by
-        ~note:(Printf.sprintf "%s:%d" note key)
-        Trace.Cache_request ~node:client)
+      Printf.bprintf (Trace.note_buffer tr) "%s:%d" note key;
+      Trace.emit_noted tr ~dur:latency ~peer:served_by Trace.Cache_request ~node:client)
     t.trace
 
 let finish t ~client ~key ~served_by ~hit ~shed ~hops ~latency =

@@ -291,9 +291,9 @@ let run_batch t ~src ~dsts =
           cache_store t ~src ~dst ~at:slot_end rtt;
           Option.iter
             (fun tr ->
-              Trace.emit tr ~at:slot_start ~dur:rtt ~peer:dst
-                ~note:(Printf.sprintf "q=%g;try=%d" (slot_start -. start) attempts)
-                Trace.Rtt_probe ~node:src)
+              Printf.bprintf (Trace.note_buffer tr) "q=%g;try=%d" (slot_start -. start)
+                attempts;
+              Trace.emit_noted tr ~at:slot_start ~dur:rtt ~peer:dst Trace.Rtt_probe ~node:src)
             t.tracer
         | Error _ ->
           t.failures <- t.failures + 1;

@@ -37,19 +37,32 @@ type t = {
   capacity : int;
   clock : unit -> float;
   mutable emitted : int;
+  scratch : Buffer.t;  (* arena for note construction; see note_buffer *)
 }
 
 let default_capacity = 65_536
 
 let create ?(capacity = default_capacity) ?(clock = fun () -> 0.0) () =
   if capacity < 1 then invalid_arg "Trace.create: capacity must be >= 1";
-  { ring = Array.make capacity dummy; capacity; clock; emitted = 0 }
+  { ring = Array.make capacity dummy; capacity; clock; emitted = 0; scratch = Buffer.create 64 }
 
 let emit t ?at ?(dur = 0.0) ?(peer = -1) ?(note = "") kind ~node =
   let at = match at with Some a -> a | None -> t.clock () in
   let seq = t.emitted in
   t.ring.(seq mod t.capacity) <- { seq; at; dur; kind; node; peer; note };
   t.emitted <- seq + 1
+
+(* Arena-style note path: hot emitters format into the tracer's reused
+   scratch buffer ([Printf.bprintf] allocates no intermediate buffer or
+   string) and {!emit_noted} materialises exactly one string, sized to
+   the note.  The produced bytes are identical to the [sprintf]
+   equivalent, so trace-parsing analyses are unaffected. *)
+let note_buffer t =
+  Buffer.clear t.scratch;
+  t.scratch
+
+let emit_noted t ?at ?dur ?peer kind ~node =
+  emit t ?at ?dur ?peer ~note:(Buffer.contents t.scratch) kind ~node
 
 let emitted t = t.emitted
 let capacity t = t.capacity

@@ -57,6 +57,20 @@ val emit : t -> ?at:float -> ?dur:float -> ?peer:int -> ?note:string -> kind -> 
 (** Record one span.  [at] defaults to [clock ()], [dur] to 0, [peer] to
     -1, [note] to [""]. *)
 
+val note_buffer : t -> Buffer.t
+(** The tracer's reusable note-construction buffer, cleared.  Hot
+    emitters build the note here (e.g. with [Printf.bprintf], which
+    writes directly into the buffer) and then call {!emit_noted} — one
+    exactly-sized string allocation per span instead of [sprintf]'s
+    intermediate buffer plus string.  The buffer is private to the
+    tracer: fill it and emit before anything else can touch the
+    tracer. *)
+
+val emit_noted : t -> ?at:float -> ?dur:float -> ?peer:int -> kind -> node:int -> unit
+(** {!emit} with [note] taken from the current contents of
+    {!note_buffer}.  The produced span is byte-identical to passing the
+    equivalent [sprintf] string to {!emit}. *)
+
 val spans : t -> span list
 (** Retained spans, oldest first (at most [capacity]; earlier spans may
     have been overwritten — see {!dropped}). *)

@@ -1,8 +1,12 @@
 type 'a entry = { prio : float; value : 'a }
 
-type 'a t = { mutable data : 'a entry array; mutable size : int }
+type 'a t = { mutable data : 'a entry array; mutable size : int; hint : int }
 
-let create () = { data = [||]; size = 0 }
+(* The entry array cannot be preallocated without a value to fill it
+   with, so a [capacity] hint takes effect on the first push: [grow]
+   jumps straight to the hint instead of walking the doubling ladder
+   (and its grow-copies) up from 16. *)
+let create ?(capacity = 0) () = { data = [||]; size = 0; hint = capacity }
 
 let length h = h.size
 let is_empty h = h.size = 0
@@ -10,7 +14,7 @@ let is_empty h = h.size = 0
 let grow h entry =
   let cap = Array.length h.data in
   if h.size = cap then begin
-    let ncap = if cap = 0 then 16 else cap * 2 in
+    let ncap = if cap = 0 then max 16 h.hint else cap * 2 in
     let ndata = Array.make ncap entry in
     Array.blit h.data 0 ndata 0 h.size;
     h.data <- ndata

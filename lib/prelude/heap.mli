@@ -6,8 +6,10 @@
 
 type 'a t
 
-val create : unit -> 'a t
-(** Fresh empty heap. *)
+val create : ?capacity:int -> unit -> 'a t
+(** Fresh empty heap.  [capacity] (default 0) sizes the first backing
+    array allocation so heaps with a known steady-state population skip
+    the grow-copy doublings; it never limits growth. *)
 
 val length : 'a t -> int
 val is_empty : 'a t -> bool

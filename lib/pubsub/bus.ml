@@ -59,20 +59,26 @@ type t = {
 let region_key bits = Array.fold_left (fun acc b -> (acc lsl 1) lor b) 1 bits
 
 (* Same naming as Softstate.Store's Map_publish spans, so trace analyses
-   ([Engine.Repair]) can join notifications against publishes by region. *)
-let region_label bits =
-  if Array.length bits = 0 then "root"
-  else String.concat "" (Array.to_list (Array.map string_of_int bits))
+   ([Engine.Repair]) can join notifications against publishes by region.
+   The note a notification's Notify span carries is
+   "<tag>:<entry>@<region>" — enough to correlate the span back to the
+   subject entry.  Built in the tracer's reused scratch buffer: one
+   Notify span per delivery makes this a hot formatting path under storm
+   workloads. *)
+let add_region_label buf bits =
+  if Array.length bits = 0 then Buffer.add_string buf "root"
+  else Array.iter (fun b -> Buffer.add_string buf (string_of_int b)) bits
 
-(* The note a notification's Notify span carries: enough to correlate the
-   span back to the subject entry ("<tag>:<entry>@<region>"). *)
-let event_note = function
+let add_event_note buf = function
   | Entry_published { region; entry_node } ->
-    Printf.sprintf "pub:%d@%s" entry_node (region_label region)
+    Printf.bprintf buf "pub:%d@" entry_node;
+    add_region_label buf region
   | Entry_departed { region; entry_node } ->
-    Printf.sprintf "dep:%d@%s" entry_node (region_label region)
+    Printf.bprintf buf "dep:%d@" entry_node;
+    add_region_label buf region
   | Load_changed { region; entry_node; _ } ->
-    Printf.sprintf "load:%d@%s" entry_node (region_label region)
+    Printf.bprintf buf "load:%d@" entry_node;
+    add_region_label buf region
 
 let create ?metrics ?(labels = []) ?trace ?sim ?(latency = fun ~host:_ ~subscriber:_ -> 0.0)
     ?(channel = fun delay -> Some delay) ?(digest_window = 0.0) store =
@@ -180,8 +186,8 @@ let deliver_immediate t sub ~host event =
     let total = Float.max 0.0 total in
     (match t.obs with
     | Some { tracer = Some tr; _ } ->
-      Engine.Trace.emit tr ~dur:total ~peer:sub.subscriber ~note:(event_note event)
-        Engine.Trace.Notify ~node:host
+      add_event_note (Engine.Trace.note_buffer tr) event;
+      Engine.Trace.emit_noted tr ~dur:total ~peer:sub.subscriber Engine.Trace.Notify ~node:host
     | Some { tracer = None; _ } | None -> ());
     (match t.sim with
     | None -> fire 0.0
@@ -235,8 +241,8 @@ let deliver_digest t sim sub ~host event =
       let delay = total +. t.digest_window in
       (match t.obs with
       | Some { tracer = Some tr; _ } ->
-        Engine.Trace.emit tr ~dur:delay ~peer:sub.subscriber ~note:(event_note event)
-          Engine.Trace.Notify ~node:host
+        add_event_note (Engine.Trace.note_buffer tr) event;
+        Engine.Trace.emit_noted tr ~dur:delay ~peer:sub.subscriber Engine.Trace.Notify ~node:host
       | Some { tracer = None; _ } | None -> ());
       ignore
         (Sim.schedule sim ~delay (fun () -> flush_digest t sim ~subscriber:sub.subscriber ~key)))

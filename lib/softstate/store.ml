@@ -10,17 +10,60 @@ module Entry = struct
     vector : float array;
     number : int;
     position : Geometry.Point.t;
+    mutable host : int;
     mutable expires : float;
     mutable load : float;
     mutable capacity : float;
   }
 end
 
+(* A host bucket: a compact growable array of entries with swap-remove.
+   The seed kept [Entry.t list ref]s and rebuilt each list with
+   [List.filter] on every retraction — O(bucket) allocation per
+   unpublish.  Buckets have no observable order (every reader either
+   counts, tests membership, or re-sorts by vector distance), so
+   swap-remove is free to reorder.  A removed slot keeps its stale
+   pointer until the next add overwrites it; retention is bounded by the
+   bucket's high-water capacity. *)
+module Bucket = struct
+  type t = { mutable arr : Entry.t array; mutable len : int }
+
+  let create () = { arr = [||]; len = 0 }
+
+  let add b (e : Entry.t) =
+    if b.len = Array.length b.arr then begin
+      let narr = Array.make (max 4 (2 * b.len)) e in
+      Array.blit b.arr 0 narr 0 b.len;
+      b.arr <- narr
+    end;
+    b.arr.(b.len) <- e;
+    b.len <- b.len + 1
+
+  let remove_node b node =
+    let i = ref 0 in
+    while !i < b.len && b.arr.(!i).Entry.node <> node do
+      incr i
+    done;
+    if !i < b.len then begin
+      b.len <- b.len - 1;
+      b.arr.(!i) <- b.arr.(b.len)
+    end
+
+  let iter f b =
+    for i = 0 to b.len - 1 do
+      f b.arr.(i)
+    done
+
+  let exists p b =
+    let rec go i = i < b.len && (p b.arr.(i) || go (i + 1)) in
+    go 0
+end
+
 type region_map = {
   box : Zone.t;
   shard : int;  (* owning shard index, fixed by the region key *)
   entries : (int, Entry.t) Hashtbl.t;  (* by described node *)
-  by_host : (int, Entry.t list ref) Hashtbl.t;  (* overlay host -> entries *)
+  by_host : (int, Bucket.t) Hashtbl.t;  (* overlay host -> entries *)
 }
 
 (* An expiry-heap record.  Records are never removed eagerly: a refresh,
@@ -104,7 +147,7 @@ let create ?metrics ?(labels = []) ?trace ?pool ?(shards = 1) ?(condense = 1.0)
     clock;
     maps = Hashtbl.create 256;
     regions = Hashtbl.create 256;
-    shards = Array.init shards (fun _ -> { expiry = Heap.create () });
+    shards = Array.init shards (fun _ -> { expiry = Heap.create ~capacity:256 () });
     node_index = Hashtbl.create 256;
     pool = (match pool with Some p -> p | None -> Engine.Dpool.default ());
     obs;
@@ -150,8 +193,12 @@ let map_for t region =
       {
         box = map_box t region;
         shard = shard_of_key t key;
+        (* [entries]'s capacity is load-bearing: its iteration order feeds
+           [inject_staleness]'s RNG stream and [region_entries].  [by_host]
+           is never iterated in an observable order, so its capacity is a
+           free hint (sized for a populated region's host set). *)
         entries = Hashtbl.create 16;
-        by_host = Hashtbl.create 16;
+        by_host = Hashtbl.create 64;
       }
     in
     Hashtbl.replace t.maps key m;
@@ -165,14 +212,18 @@ let schedule_expiry t ~key m (e : Entry.t) =
 
 let host_add m host entry =
   match Hashtbl.find_opt m.by_host host with
-  | Some l -> l := entry :: !l
-  | None -> Hashtbl.replace m.by_host host (ref [ entry ])
+  | Some b -> Bucket.add b entry
+  | None ->
+    let b = Bucket.create () in
+    Bucket.add b entry;
+    Hashtbl.replace m.by_host host b
 
+(* Emptied buckets stay in the table: a host that cycles between zero and
+   a few entries reuses its bucket's backing array instead of
+   reallocating it on every refill. *)
 let host_remove m host (entry : Entry.t) =
   match Hashtbl.find_opt m.by_host host with
-  | Some l ->
-    l := List.filter (fun (e : Entry.t) -> e.Entry.node <> entry.Entry.node) !l;
-    if !l = [] then Hashtbl.remove m.by_host host
+  | Some b -> Bucket.remove_node b entry.Entry.node
   | None -> ()
 
 let index_add t node ~key entry =
@@ -190,9 +241,13 @@ let index_remove t node ~key =
     if Hashtbl.length inner = 0 then Hashtbl.remove t.node_index node
   | None -> ()
 
+(* The owning host is cached on the entry, so a retraction never re-runs
+   the overlay's point-location walk — and it removes from the exact
+   bucket [host_add] used even if ownership drifted since publish
+   ({!rehost} refreshes the cache when the overlay changes). *)
 let remove_entry t ~key m (entry : Entry.t) =
   Hashtbl.remove m.entries entry.Entry.node;
-  host_remove m (Can_overlay.owner_of t.can entry.Entry.position) entry;
+  host_remove m entry.Entry.host entry;
   index_remove t entry.Entry.node ~key
 
 let publish t ~region ~node ~vector =
@@ -208,19 +263,20 @@ let publish t ~region ~node ~vector =
     | None -> (0.0, 1.0)
   in
   let position = Number.position_in_zone t.scheme m.box vector in
+  let host = Can_overlay.owner_of t.can position in
   let entry =
     {
       Entry.node;
       vector = Array.copy vector;
       number = Number.number t.scheme vector;
       position;
+      host;
       expires = t.clock () +. t.default_ttl;
       load = old_load;
       capacity = old_capacity;
     }
   in
   Hashtbl.replace m.entries node entry;
-  let host = Can_overlay.owner_of t.can position in
   host_add m host entry;
   index_add t node ~key entry;
   schedule_expiry t ~key m entry;
@@ -324,7 +380,7 @@ let lookup t ~region ~vector ?(max_results = 16) ?(ttl = 2) ?max_load () =
   | Some m ->
     let start = host_of t ~region ~vector in
     let collected = ref [] in
-    let seen_hosts = Hashtbl.create 8 in
+    let seen_hosts = Hashtbl.create 32 in
     let count = ref 0 in
     (* QoS consultation: with [max_load], entries whose piggybacked load
        statistic exceeds the bound are invisible to this lookup — an
@@ -336,14 +392,14 @@ let lookup t ~region ~vector ?(max_results = 16) ?(ttl = 2) ?max_load () =
       if not (Hashtbl.mem seen_hosts host) then begin
         Hashtbl.replace seen_hosts host ();
         match Hashtbl.find_opt m.by_host host with
-        | Some l ->
-          List.iter
+        | Some b ->
+          Bucket.iter
             (fun e ->
               if live t e && admissible e then begin
                 collected := e :: !collected;
                 incr count
               end)
-            !l
+            b
         | None -> ()
       end
     in
@@ -394,7 +450,10 @@ let entries_at_host t host =
   Hashtbl.fold
     (fun _ m acc ->
       match Hashtbl.find_opt m.by_host host with
-      | Some l -> acc + List.length (List.filter (live t) !l)
+      | Some b ->
+        let c = ref 0 in
+        Bucket.iter (fun e -> if live t e then incr c) b;
+        acc + !c
       | None -> acc)
     t.maps 0
 
@@ -455,7 +514,7 @@ let hosting_stats t =
 let scan_shard_due t i now =
   let heap = t.shards.(i).expiry in
   let visited = ref 0 in
-  let claimed = Hashtbl.create 16 in
+  let claimed = Hashtbl.create 64 in
   let due = ref [] in
   let rec loop () =
     match Heap.peek heap with
@@ -504,9 +563,8 @@ let observe_sweep t ~visited ~purged =
     Engine.Metrics.add o.expired (List.length purged);
     Option.iter
       (fun tr ->
-        Engine.Trace.emit tr
-          ~note:(string_of_int (List.length purged) ^ " purged")
-          Engine.Trace.Ttl_sweep ~node:(-1))
+        Printf.bprintf (Engine.Trace.note_buffer tr) "%d purged" (List.length purged);
+        Engine.Trace.emit_noted tr Engine.Trace.Ttl_sweep ~node:(-1))
       o.tracer
 
 let sweep_shard t i =
@@ -576,7 +634,9 @@ let rehost t =
              if m.shard = i then begin
                Hashtbl.reset m.by_host;
                Hashtbl.iter
-                 (fun _ e -> host_add m (Can_overlay.owner_of t.can e.Entry.position) e)
+                 (fun _ (e : Entry.t) ->
+                   e.Entry.host <- Can_overlay.owner_of t.can e.Entry.position;
+                   host_add m e.Entry.host e)
                  m.entries
              end)
            t.maps))
@@ -607,7 +667,8 @@ let check_invariants t =
                 let host = Can_overlay.owner_of t.can e.Entry.position in
                 let* () =
                   match Hashtbl.find_opt m.by_host host with
-                  | Some l when List.exists (fun (x : Entry.t) -> x.Entry.node = node) !l -> Ok ()
+                  | Some b when Bucket.exists (fun (x : Entry.t) -> x.Entry.node = node) b ->
+                    Ok ()
                   | _ -> err "entry for node %d not indexed under its host" node
                 in
                 (* reverse index agrees with the map *)
@@ -622,14 +683,14 @@ let check_invariants t =
         in
         (* no orphans in the host index *)
         Hashtbl.fold
-          (fun _ l acc ->
+          (fun _ (b : Bucket.t) acc ->
             let* () = acc in
-            List.fold_left
-              (fun acc (e : Entry.t) ->
-                let* () = acc in
-                if Hashtbl.mem m.entries e.Entry.node then Ok ()
-                else err "host index holds an orphan entry")
-              (Ok ()) !l)
+            let rec go i =
+              if i >= b.Bucket.len then Ok ()
+              else if Hashtbl.mem m.entries b.Bucket.arr.(i).Entry.node then go (i + 1)
+              else err "host index holds an orphan entry"
+            in
+            go 0)
           m.by_host (Ok ()))
       t.maps (Ok ())
   in

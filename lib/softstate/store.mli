@@ -21,6 +21,9 @@ module Entry : sig
     vector : float array;  (** its landmark vector *)
     number : int;  (** its landmark number *)
     position : Geometry.Point.t;  (** where in the map's box it is stored *)
+    mutable host : int;
+        (** the overlay node holding this entry — the owner of [position],
+            cached at publish time and refreshed by {!rehost} *)
     mutable expires : float;
     mutable load : float;  (** current load fraction, for QoS extensions *)
     mutable capacity : float;  (** forwarding capacity, for QoS extensions *)

@@ -1,43 +1,158 @@
-let run g src =
+(* Dijkstra over the CSR arrays with a structure-of-arrays binary heap:
+   parallel [float array] priorities and [int array] nodes, no per-entry
+   records, no option boxing on pop.  All scratch state lives in a
+   reusable {!Workspace} so a precompute loop (Oracle.build runs one SSSP
+   per stub member) allocates nothing once the workspace has grown to the
+   largest graph it serves.  The heap sift loops are written inline in
+   the main loop: a float crossing a function boundary is boxed without
+   flambda, and the whole point of this path is a zero-allocation steady
+   state.
+
+   Settling order among equal tentative distances differs from the seed's
+   polymorphic heap, but every final distance is the minimum over the
+   same relaxation candidates, so the produced distance arrays are
+   bit-identical to the seed implementation. *)
+
+module Workspace = struct
+  type t = {
+    mutable prev : int array;
+    mutable settled : bool array;
+    mutable hprio : float array;  (* SoA heap: priorities *)
+    mutable hnode : int array;  (* SoA heap: node ids *)
+    mutable hsize : int;
+  }
+
+  let create n =
+    let n = max n 1 in
+    {
+      prev = Array.make n (-1);
+      settled = Array.make n false;
+      hprio = Array.make (max n 16) 0.0;
+      hnode = Array.make (max n 16) 0;
+      hsize = 0;
+    }
+
+  let ensure ws n =
+    if Array.length ws.settled < n then begin
+      ws.prev <- Array.make n (-1);
+      ws.settled <- Array.make n false
+    end;
+    if Array.length ws.hprio < n then begin
+      ws.hprio <- Array.make n 0.0;
+      ws.hnode <- Array.make n 0
+    end
+end
+
+let run_into (ws : Workspace.t) g src dist =
   let n = Graph.node_count g in
   if src < 0 || src >= n then invalid_arg "Dijkstra: source out of range";
-  let dist = Array.make n infinity in
-  let prev = Array.make n (-1) in
-  let settled = Array.make n false in
-  let heap = Prelude.Heap.create () in
+  if Array.length dist < n then invalid_arg "Dijkstra: distance buffer too short";
+  Workspace.ensure ws n;
+  Array.fill dist 0 n infinity;
+  let settled = ws.settled and prev = ws.prev in
+  Array.fill settled 0 n false;
+  Array.fill prev 0 n (-1);
+  let off = Graph.csr_offsets g in
+  let nbr = Graph.csr_targets g in
+  let wts = Graph.csr_weights g in
+  let hprio = ref ws.hprio and hnode = ref ws.hnode in
+  let hsize = ref 0 in
   dist.(src) <- 0.0;
-  Prelude.Heap.push heap 0.0 src;
-  let rec loop () =
-    match Prelude.Heap.pop heap with
-    | None -> ()
-    | Some (d, u) ->
-      if not settled.(u) then begin
-        settled.(u) <- true;
-        Array.iter
-          (fun (v, w) ->
-            let nd = d +. w in
-            if nd < dist.(v) then begin
-              dist.(v) <- nd;
-              prev.(v) <- u;
-              Prelude.Heap.push heap nd v
-            end)
-          (Graph.neighbors g u)
-      end;
-      loop ()
-  in
-  loop ();
-  (dist, prev)
+  !hprio.(0) <- 0.0;
+  !hnode.(0) <- src;
+  hsize := 1;
+  while !hsize > 0 do
+    (* Pop the root. *)
+    let hp = !hprio and hn = !hnode in
+    let d = hp.(0) and u = hn.(0) in
+    decr hsize;
+    let size = !hsize in
+    if size > 0 then begin
+      hp.(0) <- hp.(size);
+      hn.(0) <- hn.(size);
+      let i = ref 0 in
+      let sifting = ref true in
+      while !sifting do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < size && hp.(l) < hp.(!smallest) then smallest := l;
+        if r < size && hp.(r) < hp.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let p = hp.(!i) and v = hn.(!i) in
+          hp.(!i) <- hp.(!smallest);
+          hn.(!i) <- hn.(!smallest);
+          hp.(!smallest) <- p;
+          hn.(!smallest) <- v;
+          i := !smallest
+        end
+        else sifting := false
+      done
+    end;
+    if not settled.(u) then begin
+      settled.(u) <- true;
+      for k = off.(u) to off.(u + 1) - 1 do
+        let v = nbr.(k) in
+        let nd = d +. wts.(k) in
+        if nd < dist.(v) then begin
+          dist.(v) <- nd;
+          prev.(v) <- u;
+          (* Push (nd, v), growing the SoA arrays if full. *)
+          (if !hsize = Array.length !hprio then begin
+             let cap = Array.length !hprio in
+             let nprio = Array.make (2 * cap) 0.0 and nnode = Array.make (2 * cap) 0 in
+             Array.blit !hprio 0 nprio 0 cap;
+             Array.blit !hnode 0 nnode 0 cap;
+             hprio := nprio;
+             hnode := nnode
+           end);
+          let hp = !hprio and hn = !hnode in
+          let i = ref !hsize in
+          incr hsize;
+          hp.(!i) <- nd;
+          hn.(!i) <- v;
+          let sifting = ref true in
+          while !sifting && !i > 0 do
+            let parent = (!i - 1) / 2 in
+            if hp.(!i) < hp.(parent) then begin
+              let p = hp.(!i) and w = hn.(!i) in
+              hp.(!i) <- hp.(parent);
+              hn.(!i) <- hn.(parent);
+              hp.(parent) <- p;
+              hn.(parent) <- w;
+              i := parent
+            end
+            else sifting := false
+          done
+        end
+      done
+    end
+  done;
+  (* Publish possibly-grown heap arrays back for reuse. *)
+  ws.hprio <- !hprio;
+  ws.hnode <- !hnode;
+  ws.hsize <- 0
 
-let distances g src = fst (run g src)
+let distances_into ws g src dist = run_into ws g src dist
+
+let distances g src =
+  let n = Graph.node_count g in
+  let ws = Workspace.create n in
+  let dist = Array.make (max n 1) infinity in
+  run_into ws g src dist;
+  dist
 
 let distance g src dst =
   let dist = distances g src in
   dist.(dst)
 
 let path g src dst =
-  let dist, prev = run g src in
+  let n = Graph.node_count g in
+  let ws = Workspace.create n in
+  let dist = Array.make (max n 1) infinity in
+  run_into ws g src dist;
   if dist.(dst) = infinity then None
   else begin
+    let prev = ws.Workspace.prev in
     let rec build acc u = if u = src then src :: acc else build (u :: acc) prev.(u) in
     Some (build [] dst)
   end

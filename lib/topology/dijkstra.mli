@@ -2,7 +2,30 @@
 
     Used as ground truth in tests and for arbitrary graphs; the
     transit-stub {!Oracle} answers the same queries in O(1) after
-    precomputation. *)
+    precomputation.
+
+    Runs over the graph's CSR arrays with a structure-of-arrays binary
+    heap.  All scratch state (heap, settled marks, predecessors) lives in
+    a {!Workspace}; {!distances_into} reuses it across runs so a
+    precompute loop allocates nothing in steady state. *)
+
+module Workspace : sig
+  type t
+  (** Reusable scratch buffers for one in-flight computation.  Grows on
+      demand to the largest graph it has served; never shrinks. *)
+
+  val create : int -> t
+  (** [create n] sizes the buffers for graphs of up to [n] nodes. *)
+end
+
+val distances_into : Workspace.t -> Graph.t -> int -> float array -> unit
+(** [distances_into ws g src dist] fills [dist.(v)] with the shortest-path
+    latency from [src] to [v] for every [v < node_count g] ([infinity]
+    when unreachable).  [dist] must have at least [node_count g] slots
+    (raises [Invalid_argument] otherwise; slots beyond the node count are
+    untouched).  Allocation-free once [ws] has grown to this graph's
+    size — the zero-allocation path [Oracle.build]'s precompute loops
+    use. *)
 
 val distances : Graph.t -> int -> float array
 (** [distances g src] is the array of shortest-path latencies from [src] to

@@ -1,85 +1,146 @@
-type t = { adj : (int * float) array array; edge_count : int }
+(* CSR (compressed-sparse-row) adjacency: [off] indexes [dst]/[wt] per
+   node, segments sorted by neighbor id.  One flat int array and one flat
+   float array replace the seed's boxed (int * float) tuple arrays; the
+   sorted segments give binary-search [weight] and cache-linear neighbor
+   scans for Dijkstra (which reads the arrays directly via the csr_*
+   accessors). *)
+type t = {
+  n : int;
+  off : int array;  (* n + 1 *)
+  dst : int array;  (* 2 * edge_count, per-node segment sorted ascending *)
+  wt : float array;  (* parallel to dst *)
+  edge_count : int;
+}
+
+(* Sort a CSR segment (both arrays in lockstep) by neighbor id.  Segments
+   are small (node degrees), so insertion sort; build-time only. *)
+let sort_segment dst wt lo hi =
+  for i = lo + 1 to hi - 1 do
+    let d = dst.(i) and w = wt.(i) in
+    let j = ref (i - 1) in
+    while !j >= lo && dst.(!j) > d do
+      dst.(!j + 1) <- dst.(!j);
+      wt.(!j + 1) <- wt.(!j);
+      decr j
+    done;
+    dst.(!j + 1) <- d;
+    wt.(!j + 1) <- w
+  done
 
 let make n edge_list =
   if n < 0 then invalid_arg "Graph.make: negative node count";
-  let buckets = Array.make n [] in
+  let deg = Array.make n 0 in
   let seen = Hashtbl.create (List.length edge_list) in
-  let add (u, v, w) =
+  (* Validation in list order, so callers see the same error for the
+     same first-offending edge as always. *)
+  let validate (u, v, w) =
     if u < 0 || u >= n || v < 0 || v >= n then invalid_arg "Graph.make: endpoint out of range";
     if u = v then invalid_arg "Graph.make: self loop";
     if w <= 0.0 then invalid_arg "Graph.make: non-positive weight";
     let key = if u < v then (u, v) else (v, u) in
     if Hashtbl.mem seen key then invalid_arg "Graph.make: duplicate edge";
     Hashtbl.add seen key ();
-    buckets.(u) <- (v, w) :: buckets.(u);
-    buckets.(v) <- (u, w) :: buckets.(v)
+    deg.(u) <- deg.(u) + 1;
+    deg.(v) <- deg.(v) + 1
   in
-  List.iter add edge_list;
-  { adj = Array.map Array.of_list buckets; edge_count = Hashtbl.length seen }
+  List.iter validate edge_list;
+  let edge_count = Hashtbl.length seen in
+  let off = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    off.(u + 1) <- off.(u) + deg.(u)
+  done;
+  let slots = 2 * edge_count in
+  let dst = Array.make slots 0 in
+  let wt = Array.make slots 0.0 in
+  let cursor = Array.sub off 0 n in
+  List.iter
+    (fun (u, v, w) ->
+      dst.(cursor.(u)) <- v;
+      wt.(cursor.(u)) <- w;
+      cursor.(u) <- cursor.(u) + 1;
+      dst.(cursor.(v)) <- u;
+      wt.(cursor.(v)) <- w;
+      cursor.(v) <- cursor.(v) + 1)
+    edge_list;
+  for u = 0 to n - 1 do
+    sort_segment dst wt off.(u) off.(u + 1)
+  done;
+  { n; off; dst; wt; edge_count }
 
-let node_count t = Array.length t.adj
+let node_count t = t.n
 let edge_count t = t.edge_count
-let neighbors t u = t.adj.(u)
-let degree t u = Array.length t.adj.(u)
 
+let neighbors t u =
+  let lo = t.off.(u) in
+  Array.init (t.off.(u + 1) - lo) (fun i -> (t.dst.(lo + i), t.wt.(lo + i)))
+
+let degree t u = t.off.(u + 1) - t.off.(u)
+
+let csr_offsets t = t.off
+let csr_targets t = t.dst
+let csr_weights t = t.wt
+
+(* Binary search over the sorted segment; O(log degree). *)
 let weight t u v =
-  let rec find i arr = if i >= Array.length arr then None else begin
-    let w, wt = arr.(i) in
-    if w = v then Some wt else find (i + 1) arr
-  end in
-  find 0 t.adj.(u)
+  let lo = ref t.off.(u) and hi = ref (t.off.(u + 1) - 1) in
+  let found = ref None in
+  while !found = None && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let d = t.dst.(mid) in
+    if d = v then found := Some t.wt.(mid)
+    else if d < v then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
 
 let edges t =
   let acc = ref [] in
-  for u = Array.length t.adj - 1 downto 0 do
-    Array.iter (fun (v, w) -> if u < v then acc := (u, v, w) :: !acc) t.adj.(u)
+  for u = t.n - 1 downto 0 do
+    for k = t.off.(u + 1) - 1 downto t.off.(u) do
+      if u < t.dst.(k) then acc := (u, t.dst.(k), t.wt.(k)) :: !acc
+    done
   done;
   !acc
 
 let is_connected t =
-  let n = node_count t in
-  if n = 0 then true
+  if t.n = 0 then true
   else begin
-    let visited = Array.make n false in
-    let stack = ref [ 0 ] in
+    let visited = Array.make t.n false in
+    let stack = Array.make t.n 0 in
+    let top = ref 1 in
     visited.(0) <- true;
     let count = ref 0 in
-    let rec walk () =
-      match !stack with
-      | [] -> ()
-      | u :: rest ->
-        stack := rest;
-        incr count;
-        Array.iter
-          (fun (v, _) ->
-            if not visited.(v) then begin
-              visited.(v) <- true;
-              stack := v :: !stack
-            end)
-          t.adj.(u);
-        walk ()
-    in
-    walk ();
-    !count = n
+    while !top > 0 do
+      decr top;
+      let u = stack.(!top) in
+      incr count;
+      for k = t.off.(u) to t.off.(u + 1) - 1 do
+        let v = t.dst.(k) in
+        if not visited.(v) then begin
+          visited.(v) <- true;
+          stack.(!top) <- v;
+          incr top
+        end
+      done
+    done;
+    !count = t.n
   end
 
 let subgraph t nodes =
   let k = Array.length nodes in
-  let n = node_count t in
-  let new_id = Array.make n (-1) in
+  let new_id = Array.make t.n (-1) in
   Array.iteri
     (fun i u ->
-      if u < 0 || u >= n then invalid_arg "Graph.subgraph: node out of range";
+      if u < 0 || u >= t.n then invalid_arg "Graph.subgraph: node out of range";
       if new_id.(u) <> -1 then invalid_arg "Graph.subgraph: duplicate node";
       new_id.(u) <- i)
     nodes;
   let edge_list = ref [] in
   Array.iteri
     (fun i u ->
-      Array.iter
-        (fun (v, w) ->
-          let j = new_id.(v) in
-          if j >= 0 && i < j then edge_list := (i, j, w) :: !edge_list)
-        t.adj.(u))
+      for s = t.off.(u) to t.off.(u + 1) - 1 do
+        let j = new_id.(t.dst.(s)) in
+        if j >= 0 && i < j then edge_list := (i, j, t.wt.(s)) :: !edge_list
+      done)
     nodes;
   (make k !edge_list, Array.copy nodes)

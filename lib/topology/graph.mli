@@ -1,7 +1,14 @@
 (** Immutable weighted undirected graph with dense integer node ids.
 
     Nodes are [0 .. node_count - 1].  Edge weights are link latencies in
-    milliseconds and must be positive. *)
+    milliseconds and must be positive.
+
+    Storage is CSR (compressed-sparse-row): one offsets array indexing
+    one flat neighbor-id [int array] and one parallel weight
+    [float array].  {b Sortedness invariant}: within every node's CSR
+    segment the neighbor ids are strictly ascending — established by
+    {!make}, relied on by {!weight}'s binary search, and part of the
+    contract of the [csr_*] accessors. *)
 
 type t
 
@@ -15,16 +22,32 @@ val node_count : t -> int
 val edge_count : t -> int
 
 val neighbors : t -> int -> (int * float) array
-(** Adjacency of a node as [(neighbor, weight)] pairs.  The returned array
-    is owned by the graph; callers must not mutate it. *)
+(** Adjacency of a node as [(neighbor, weight)] pairs, ascending by
+    neighbor id.  The array is freshly allocated on every call
+    (compatibility view over the CSR segment); hot paths should read the
+    [csr_*] arrays directly. *)
 
 val degree : t -> int -> int
 
+val csr_offsets : t -> int array
+(** The CSR offsets array, length [node_count + 1]: node [u]'s neighbors
+    occupy slots [offsets.(u) .. offsets.(u+1) - 1] of {!csr_targets} /
+    {!csr_weights}.  Owned by the graph — callers must not mutate. *)
+
+val csr_targets : t -> int array
+(** Flat neighbor-id array (see {!csr_offsets}); each per-node segment is
+    sorted ascending.  Owned by the graph — callers must not mutate. *)
+
+val csr_weights : t -> float array
+(** Flat weight array parallel to {!csr_targets}.  Owned by the graph —
+    callers must not mutate. *)
+
 val weight : t -> int -> int -> float option
-(** Weight of the edge between two nodes, if present. *)
+(** Weight of the edge between two nodes, if present.  Binary search over
+    the sorted CSR segment: O(log degree). *)
 
 val edges : t -> (int * int * float) list
-(** Every undirected edge once, with [u < v]. *)
+(** Every undirected edge once, with [u < v], ascending by [(u, v)]. *)
 
 val is_connected : t -> bool
 (** Whether every node is reachable from node 0 (true for empty graphs). *)

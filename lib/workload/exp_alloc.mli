@@ -1,0 +1,16 @@
+(** Allocation microbench: exact [Gc.minor_words] budgets for the
+    simulation hot paths — one eCAN expressway route, one TTL sweep over
+    a 64-entry expired burst, and one Dijkstra single-source run of the
+    kind [Oracle.build] issues in a loop.
+
+    Records [alloc_minor_words_per_route] / [alloc_minor_words_per_sweep]
+    / [alloc_minor_words_per_sssp] as counters, which
+    [bench/compare.exe]'s allocation-budget section holds to {e exact}
+    integer equality: any allocation regression on a hot path fails the
+    gate.  Single-domain by construction (explicit 1-domain pool), so
+    the numbers are identical across TOPOAWARE_DOMAINS legs. *)
+
+val run : ?scale:int -> Format.formatter -> unit
+(** Registry entry; [scale] is accepted for registry uniformity but the
+    op fixtures are fixed-size (budgets must be exact, not
+    scale-dependent). *)

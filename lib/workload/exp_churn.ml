@@ -202,7 +202,7 @@ let pastry_convergence ?(samples = 64) ~seed mesh =
 
 let ecan_outcomes ?(size = 256) ?(seed = 11) ?(storm = Faults.default_storm)
     ?(channel = Faults.reliable) ?(shards = 1) ?(digest_window = 0.0) ?(probe_window = 1)
-    ?(domains = 0) oracle =
+    ?(domains = 0) ?(labels = [ ("experiment", "churn") ]) oracle =
   let sim = Sim.create () in
   let faults = Faults.create ~channel ~seed:(seed * 1009 + 1) () in
   let config =
@@ -215,10 +215,10 @@ let ecan_outcomes ?(size = 256) ?(seed = 11) ?(storm = Faults.default_storm)
       seed = seed * 1009 + 2 }
   in
   (* The whole eCAN stack reports into the global registry under an
-     [experiment=churn] label, so [bench --json] carries the storm's
+     [experiment=churn] label (callers driving other experiments pass
+     their own label set), so [bench --json] carries the storm's
      route/publish/notify traffic alongside the table below. *)
   let metrics = Engine.Metrics.global in
-  let labels = [ ("experiment", "churn") ] in
   let b =
     Builder.build ~metrics ~labels ~clock:(fun () -> Sim.now sim) oracle config
   in

@@ -60,6 +60,7 @@ val ecan_outcomes :
   ?digest_window:float ->
   ?probe_window:int ->
   ?domains:int ->
+  ?labels:(string * string) list ->
   Topology.Oracle.t ->
   outcome * outcome
 (** Drive an eCAN (with pub/sub repair, liveness polling, TTL sweeps and
@@ -74,7 +75,11 @@ val ecan_outcomes :
     modelled probe wall-clock only, never which probes are sent;
     [domains] (default 0 = ambient) sets the domain pool hosting the
     store and prober ({!Core.Builder} [config.domains]) — it changes real
-    wall-clock only, never any result or metric (DESIGN.md §12). *)
+    wall-clock only, never any result or metric (DESIGN.md §12).
+    [labels] (default [[("experiment", "churn")]]) is the label set the
+    whole eCAN stack reports under in the global registry, so other
+    experiments (e.g. the big-scale rows) can reuse this driver without
+    colliding with the churn experiment's instruments. *)
 
 val chord_outcome :
   ?size:int -> ?seed:int -> ?storm:Engine.Faults.storm -> Topology.Oracle.t -> outcome

@@ -41,6 +41,10 @@ let all =
       (fun ?scale ppf -> Exp_cache.run ?scale ppf);
     entry "domains" "Domain-parallel hosting: byte-identical metrics across pool sizes"
       (fun ?scale ppf -> Exp_domains.run ?scale ppf);
+    entry "alloc" "Allocation budget: exact minor words per hot-path op"
+      (fun ?scale ppf -> Exp_alloc.run ?scale ppf);
+    entry "bigscale" "Raw speed: churn rows on 2^14..2^17-node transit-stub topologies"
+      (fun ?scale ppf -> Exp_bigscale.run ?scale ppf);
   ]
 
 let find name = List.find_opt (fun e -> e.name = name) all

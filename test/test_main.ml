@@ -23,5 +23,6 @@ let () =
       ("cache", Test_cache.suite);
       ("domains", Test_domains.suite);
       ("properties", Test_properties.suite);
+      ("perf", Test_perf.suite);
       ("edges", Test_edges.suite);
     ]
