@@ -125,14 +125,27 @@ let () =
   let is_alloc k =
     String.length k >= 6 && String.sub k 0 6 = "alloc_"
   in
+  (* Which experiment registered the instrument: its ("experiment", ...)
+     label when present, else the [alloc] experiment (whose counters are
+     registered label-free) — so a budget regression names the experiment
+     to rerun without opening the JSON. *)
+  let experiment_of obj =
+    match Json.member "labels" obj with
+    | Some labels ->
+      (match Json.member "experiment" labels with
+      | Some (Json.String e) -> e
+      | _ -> "alloc")
+    | None -> "alloc"
+  in
   let exact_int section_name field k bo co =
     let bv = int_field field bo and cv = int_field field co in
     if section_name = "counter" && is_alloc k then begin
       incr alloc_compared;
       if bv <> cv then
         problem
-          "allocation budget %s: %d -> %d minor words/op (exact match required; see EXPERIMENTS.md)"
-          k bv cv
+          "allocation budget [%s] %s: %d -> %d minor words/op (exact match required; rerun \
+           with --only %s; see EXPERIMENTS.md)"
+          (experiment_of bo) k bv cv (experiment_of bo)
     end
     else if bv <> cv then
       problem "%s %s: %s %d -> %d (exact match required)" section_name k field bv cv

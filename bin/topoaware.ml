@@ -399,6 +399,46 @@ let cache_cmd =
         (const run $ verbose_arg $ seed_arg $ scale_arg $ zipf_arg $ clients_arg
         $ replicas_arg))
 
+(* ---- mcast ---- *)
+
+let mcast_cmd =
+  let group_arg =
+    Arg.(value & opt (some int) None
+         & info [ "group-size" ] ~docv:"N"
+             ~doc:"Subscriber group size, >= 4 (default: scales with the workload).")
+  in
+  let degree_arg =
+    Arg.(value & opt int 3
+         & info [ "degree" ] ~docv:"D" ~doc:"Max children per tree node, >= 1.")
+  in
+  let policy_arg =
+    Arg.(value & opt (enum [ ("both", None); ("aware", Some Engine.Mcast.Aware);
+                             ("random", Some Engine.Mcast.Random) ]) None
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:
+               "Placement arm for the eCAN rows: $(b,aware), $(b,random), or $(b,both) \
+                (the default; headline aware-vs-random gauges need both).")
+  in
+  let run verbose seed scale group_size degree policy =
+    if (match group_size with Some g -> g < 4 | None -> false) then
+      `Error (false, "--group-size must be >= 4")
+    else if degree < 1 then `Error (false, "--degree must be >= 1")
+    else begin
+      setup_logs verbose;
+      Workload.Exp_mcast.run_custom ~scale ~seed ?group_size ~degree ?policy ppf;
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "mcast"
+       ~doc:
+         "Disseminate a seeded publish schedule through bounded-degree multicast trees over \
+          every overlay (eCAN aware/random placement, CAN, Chord, Pastry), with parent loss \
+          detected through soft-state Departure_of watches, and report delivered latency, \
+          stretch, link stress and regraft latency per backend")
+    Term.(
+      ret (const run $ verbose_arg $ seed_arg $ scale_arg $ group_arg $ degree_arg $ policy_arg))
+
 (* ---- trace ---- *)
 
 let trace_cmd =
@@ -513,4 +553,4 @@ let trace_cmd =
 let () =
   let doc = "Topology-aware overlay construction using global soft-state (ICDCS 2003)" in
   let info = Cmd.info "topoaware" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; experiment_cmd; gen_topology_cmd; topo_info_cmd; nn_search_cmd; build_cmd; churn_cmd; repair_cmd; cache_cmd; domains_cmd; trace_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; experiment_cmd; gen_topology_cmd; topo_info_cmd; nn_search_cmd; build_cmd; churn_cmd; repair_cmd; cache_cmd; mcast_cmd; domains_cmd; trace_cmd ]))

@@ -21,6 +21,7 @@ type counters = {
 type adapt_obs = {
   g_refresh : Engine.Metrics.gauge;
   g_sweep : Engine.Metrics.gauge;
+  g_digest : Engine.Metrics.gauge option;  (* only when the policy tunes the digest *)
   c_adaptations : Engine.Metrics.counter;
   h_sample : Engine.Metrics.histogram;
 }
@@ -110,10 +111,13 @@ let arm_sweeps t =
 
 (* Adaptive re-tune: drop the old timers and restart them at the
    controller's periods (each shard's first re-armed sweep lands at its
-   stagger offset from now). *)
-let retune t ~refresh ~sweep =
+   stagger offset from now).  [digest] is [Some w] only when the policy
+   tunes the digest window; the bus picks the new window up for digests
+   opened after this instant. *)
+let retune t ~refresh ~sweep ~digest =
   t.refresh_period <- refresh;
   t.sweep_period <- sweep;
+  Option.iter (fun w -> Bus.set_digest_window t.bus w) digest;
   Option.iter Sim.cancel t.refresh_timer;
   List.iter Sim.cancel t.sweep_timers;
   t.sweep_timers <- [];
@@ -123,6 +127,9 @@ let retune t ~refresh ~sweep =
   | Some o ->
     Engine.Metrics.set o.g_refresh refresh;
     Engine.Metrics.set o.g_sweep sweep;
+    (match (o.g_digest, digest) with
+    | Some g, Some w -> Engine.Metrics.set g w
+    | _ -> ());
     Engine.Metrics.incr o.c_adaptations
   | None -> ()
 
@@ -144,6 +151,7 @@ let observe_notification t (n : Bus.notification) =
         if Engine.Repair.observe ctl sample then
           retune t ~refresh:(Engine.Repair.refresh_period ctl)
             ~sweep:(Engine.Repair.sweep_period ctl)
+            ~digest:(Engine.Repair.digest_window ctl)
       | None -> ())
     | Bus.Entry_published _ | Bus.Load_changed _ -> ())
 
@@ -168,7 +176,9 @@ let start ~sim ?metrics ?labels ?trace ?(refresh_period = 200_000.0)
   let controller =
     Option.map
       (fun policy ->
-        Engine.Repair.controller ~refresh:refresh_period ~sweep:sweep_period policy)
+        Engine.Repair.controller ~refresh:refresh_period ~sweep:sweep_period
+          ~digest:(Option.value digest_window ~default:0.0)
+          policy)
       adapt
   in
   let adapt_obs =
@@ -179,11 +189,25 @@ let start ~sim ?metrics ?labels ?trace ?(refresh_period = 200_000.0)
         {
           g_refresh = Engine.Metrics.gauge m ~labels "maintenance_refresh_period_ms";
           g_sweep = Engine.Metrics.gauge m ~labels "maintenance_sweep_period_ms";
+          (* Registered only when the policy tunes the digest: a
+             refresh/sweep-only adaptive run keeps its instrument set. *)
+          g_digest =
+            (if (match adapt with Some p -> Engine.Repair.tunes_digest p | None -> false)
+             then Some (Engine.Metrics.gauge m ~labels "maintenance_digest_window_ms")
+             else None);
           c_adaptations = Engine.Metrics.counter m ~labels "maintenance_adaptations";
           h_sample = Engine.Metrics.histogram m ~labels "maintenance_repair_sample_ms";
         }
     | _ -> None
   in
+  (* A digest-tuning controller clamps the starting window into its
+     bounds; keep the bus in agreement from the first digest on. *)
+  (match controller with
+  | Some c ->
+    Option.iter
+      (fun w -> if w <> Bus.digest_window bus then Bus.set_digest_window bus w)
+      (Engine.Repair.digest_window c)
+  | None -> ());
   let t =
     {
       builder;
@@ -217,7 +241,11 @@ let start ~sim ?metrics ?labels ?trace ?(refresh_period = 200_000.0)
   (match t.adapt_obs with
   | Some o ->
     Engine.Metrics.set o.g_refresh t.refresh_period;
-    Engine.Metrics.set o.g_sweep t.sweep_period
+    Engine.Metrics.set o.g_sweep t.sweep_period;
+    (match (o.g_digest, controller) with
+    | Some g, Some c ->
+      Option.iter (fun w -> Engine.Metrics.set g w) (Engine.Repair.digest_window c)
+    | _ -> ())
   | None -> ());
   t
 

@@ -53,14 +53,20 @@ val start :
     {!Engine.Repair.controller} seeded with the starting periods (clamped
     into the policy bounds) observes the repair latency of every delivered
     departure notification about a node previously passed to
-    {!node_crashes}, and whenever the controller moves, the refresh and
-    sweep timers are cancelled and re-armed at the new periods.  Without
-    [adapt] nothing is observed, no extra instruments are registered, and
-    scheduling is byte-identical to earlier releases.  With both [adapt]
-    and [metrics], the run additionally maintains
-    [maintenance_refresh_period_ms] / [maintenance_sweep_period_ms]
-    gauges, a [maintenance_adaptations] counter and a
-    [maintenance_repair_sample_ms] histogram. *)
+    {!node_crashes}, deciding on the window's [sample_pct] percentile of
+    those delivered latencies, and whenever the controller moves, the
+    refresh and sweep timers are cancelled and re-armed at the new
+    periods.  A policy with [max_digest > 0] additionally tunes the bus's
+    digest window ({!Pubsub.Bus.set_digest_window} — digests already open
+    keep their schedule), starting from [digest_window] clamped into the
+    digest bounds.  Without [adapt] nothing is observed, no extra
+    instruments are registered, and scheduling is byte-identical to
+    earlier releases.  With both [adapt] and [metrics], the run
+    additionally maintains [maintenance_refresh_period_ms] /
+    [maintenance_sweep_period_ms] gauges, a [maintenance_adaptations]
+    counter and a [maintenance_repair_sample_ms] histogram — plus a
+    [maintenance_digest_window_ms] gauge when the policy tunes the
+    digest. *)
 
 val bus : t -> Pubsub.Bus.t
 (** The pub/sub bus wired to the overlay's store.  Notification delivery

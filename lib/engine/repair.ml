@@ -13,6 +13,7 @@ type record = {
   notifies : int;
   sweeps : int;
   republishes : int;
+  regraft_ms : float list;
 }
 
 let repaired r = r.notifies > 0
@@ -33,7 +34,13 @@ let dist_of samples =
       max = Array.fold_left Float.max neg_infinity samples;
     }
 
-type report = { records : record list; repair : dist; detection : dist; unrepaired : int }
+type report = {
+  records : record list;
+  repair : dist;
+  detection : dist;
+  regraft : dist;
+  unrepaired : int;
+}
 
 (* "<tag>:<entry>@<region>" — the Bus note convention. *)
 let parse_notify note =
@@ -62,6 +69,7 @@ type acc = {
   mutable a_notifies : int;
   mutable a_sweeps : int;
   mutable a_republishes : int;
+  mutable a_regrafts : float list;  (* reversed *)
 }
 
 let analyze spans =
@@ -87,6 +95,7 @@ let analyze spans =
             a_notifies = 0;
             a_sweeps = 0;
             a_republishes = 0;
+            a_regrafts = [];
           }
         in
         accs := a :: !accs;
@@ -117,9 +126,24 @@ let analyze spans =
     | Some l -> List.find_opt (fun a -> a.a_fault.injected_at <= at) l
   in
   (* Pass 2: departure notifications about a victim are its repair
-     traffic. *)
+     traffic; a tree regraft tagged [dead:<victim>] is the victim's
+     structural repair (Mcast emits the span when the orphaned subtree
+     re-attaches; [dur] is the orphanhood duration). *)
   List.iter
     (fun (s : Trace.span) ->
+      if s.Trace.kind = Trace.Mcast_regraft then begin
+        match
+          if String.length s.Trace.note > 5 && String.sub s.Trace.note 0 5 = "dead:" then
+            int_of_string_opt
+              (String.sub s.Trace.note 5 (String.length s.Trace.note - 5))
+          else None
+        with
+        | Some victim ->
+          (match owner_of ~victim ~at:s.Trace.at with
+          | Some a -> a.a_regrafts <- s.Trace.dur :: a.a_regrafts
+          | None -> ())
+        | None -> ()
+      end;
       if s.Trace.kind = Trace.Notify then
         match parse_notify s.Trace.note with
         | Some ("dep", entry, region) ->
@@ -177,6 +201,7 @@ let analyze spans =
           notifies = a.a_notifies;
           sweeps = a.a_sweeps;
           republishes = a.a_republishes;
+          regraft_ms = List.rev a.a_regrafts;
         })
       accs
   in
@@ -185,6 +210,7 @@ let analyze spans =
     records;
     repair = dist_of (Array.of_list (List.map repair_ms done_));
     detection = dist_of (Array.of_list (List.map detection_ms done_));
+    regraft = dist_of (Array.of_list (List.concat_map (fun r -> r.regraft_ms) records));
     unrepaired = List.length records - List.length done_;
   }
 
@@ -204,7 +230,14 @@ let record_metrics ?(labels = []) m report =
   let c name v = Metrics.add (Metrics.counter m ~labels name) v in
   c "repair_faults" (List.length report.records);
   c "repair_repaired" (List.length report.records - report.unrepaired);
-  c "repair_unrepaired" report.unrepaired
+  c "repair_unrepaired" report.unrepaired;
+  (* Tree-regraft instruments only when the span stream had any: a run
+     without a dissemination tree keeps its instrument set unchanged. *)
+  if report.regraft.n > 0 then begin
+    let h_regraft = h "repair_regraft_ms" in
+    List.iter (fun r -> List.iter (Metrics.observe h_regraft) r.regraft_ms) report.records;
+    c "repair_regrafts" report.regraft.n
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Adaptive policy                                                     *)
@@ -214,11 +247,14 @@ type policy = {
   target_ms : float;
   headroom : float;
   window : int;
+  sample_pct : float;
   step : float;
   min_refresh : float;
   max_refresh : float;
   min_sweep : float;
   max_sweep : float;
+  min_digest : float;
+  max_digest : float;
 }
 
 let default_policy =
@@ -226,17 +262,23 @@ let default_policy =
     target_ms = 25_000.0;
     headroom = 0.5;
     window = 3;
+    sample_pct = 100.0;
     step = 2.0;
     min_refresh = 2_500.0;
     max_refresh = 120_000.0;
     min_sweep = 500.0;
     max_sweep = 60_000.0;
+    min_digest = 0.0;
+    max_digest = 0.0;
   }
+
+let tunes_digest p = p.max_digest > 0.0
 
 type controller = {
   policy : policy;
   mutable refresh : float;
   mutable sweep : float;
+  mutable digest : float;
   mutable pending : float list;  (* current window, newest first *)
   mutable adjustments : int;
   mutable observed : int;
@@ -244,20 +286,27 @@ type controller = {
 
 let clamp ~lo ~hi v = Float.min hi (Float.max lo v)
 
-let controller ?(refresh = 200_000.0) ?(sweep = 100_000.0) policy =
+let controller ?(refresh = 200_000.0) ?(sweep = 100_000.0) ?(digest = 0.0) policy =
   if not (policy.target_ms > 0.0) then invalid_arg "Repair.controller: target_ms must be > 0";
   if not (policy.headroom > 0.0 && policy.headroom <= 1.0) then
     invalid_arg "Repair.controller: headroom must be in (0,1]";
   if policy.window < 1 then invalid_arg "Repair.controller: window must be >= 1";
+  if not (policy.sample_pct > 0.0 && policy.sample_pct <= 100.0) then
+    invalid_arg "Repair.controller: sample_pct must be in (0,100]";
   if not (policy.step > 1.0) then invalid_arg "Repair.controller: step must be > 1";
   if not (0.0 < policy.min_refresh && policy.min_refresh <= policy.max_refresh) then
     invalid_arg "Repair.controller: need 0 < min_refresh <= max_refresh";
   if not (0.0 < policy.min_sweep && policy.min_sweep <= policy.max_sweep) then
     invalid_arg "Repair.controller: need 0 < min_sweep <= max_sweep";
+  if tunes_digest policy && not (0.0 < policy.min_digest && policy.min_digest <= policy.max_digest)
+  then invalid_arg "Repair.controller: need 0 < min_digest <= max_digest (or max_digest = 0)";
   {
     policy;
     refresh = clamp ~lo:policy.min_refresh ~hi:policy.max_refresh refresh;
     sweep = clamp ~lo:policy.min_sweep ~hi:policy.max_sweep sweep;
+    digest =
+      (if tunes_digest policy then clamp ~lo:policy.min_digest ~hi:policy.max_digest digest
+       else digest);
     pending = [];
     adjustments = 0;
     observed = 0;
@@ -265,6 +314,7 @@ let controller ?(refresh = 200_000.0) ?(sweep = 100_000.0) policy =
 
 let refresh_period c = c.refresh
 let sweep_period c = c.sweep
+let digest_window c = if tunes_digest c.policy then Some c.digest else None
 let adjustments c = c.adjustments
 let observed c = c.observed
 
@@ -273,23 +323,36 @@ let observe c sample =
   c.pending <- sample :: c.pending;
   if List.length c.pending < c.policy.window then false
   else begin
-    let worst = List.fold_left Float.max neg_infinity c.pending in
-    c.pending <- [];
     let p = c.policy in
+    (* The decision statistic: the window's [sample_pct] percentile.  At
+       the default 100 this is the window max — computed as the max so
+       the arithmetic (and hence every downstream metric byte) is
+       identical to the pre-percentile controller. *)
+    let level =
+      if p.sample_pct >= 100.0 then List.fold_left Float.max neg_infinity c.pending
+      else Stats.percentile (Array.of_list c.pending) p.sample_pct
+    in
+    c.pending <- [];
     (* Over target: refresh less often (a crash victim's entries are then
-       staler and expire sooner) and sweep more often (expiry is noticed
-       sooner).  Under the headroom: step back toward the cheap end. *)
-    let refresh', sweep' =
-      if worst > p.target_ms then (c.refresh *. p.step, c.sweep /. p.step)
-      else if worst < p.headroom *. p.target_ms then (c.refresh /. p.step, c.sweep *. p.step)
-      else (c.refresh, c.sweep)
+       staler and expire sooner), sweep more often (expiry is noticed
+       sooner) and shrink the digest window (notifications coalesce for
+       less long).  Under the headroom: step back toward the cheap end. *)
+    let refresh', sweep', digest' =
+      if level > p.target_ms then (c.refresh *. p.step, c.sweep /. p.step, c.digest /. p.step)
+      else if level < p.headroom *. p.target_ms then
+        (c.refresh /. p.step, c.sweep *. p.step, c.digest *. p.step)
+      else (c.refresh, c.sweep, c.digest)
     in
     let refresh' = clamp ~lo:p.min_refresh ~hi:p.max_refresh refresh'
-    and sweep' = clamp ~lo:p.min_sweep ~hi:p.max_sweep sweep' in
-    let changed = refresh' <> c.refresh || sweep' <> c.sweep in
+    and sweep' = clamp ~lo:p.min_sweep ~hi:p.max_sweep sweep'
+    and digest' =
+      if tunes_digest p then clamp ~lo:p.min_digest ~hi:p.max_digest digest' else c.digest
+    in
+    let changed = refresh' <> c.refresh || sweep' <> c.sweep || digest' <> c.digest in
     if changed then begin
       c.refresh <- refresh';
       c.sweep <- sweep';
+      c.digest <- digest';
       c.adjustments <- c.adjustments + 1
     end;
     changed

@@ -58,6 +58,13 @@ type record = {
   notifies : int;  (** correlated departure notifications *)
   sweeps : int;  (** [Ttl_sweep] spans in (injection, detection] *)
   republishes : int;  (** [Map_publish] spans into the victim's regions in (injection, last_notify] *)
+  regraft_ms : float list;
+      (** orphanhood durations of [Mcast_regraft] spans whose
+          [dead:<victim>] note names this fault's victim (attributed to
+          the latest fault at or before the span, like notifications) —
+          the {e structural} repair latency when the victim was a
+          dissemination-tree interior node; [[]] when no tree was
+          traced *)
 }
 
 val repaired : record -> bool
@@ -83,6 +90,7 @@ type report = {
   records : record list;  (** one per resolved fault, in injection order *)
   repair : dist;  (** full-repair latencies of the repaired faults *)
   detection : dist;  (** detection latencies of the repaired faults *)
+  regraft : dist;  (** tree-regraft latencies attributed to any fault *)
   unrepaired : int;
 }
 
@@ -95,7 +103,10 @@ val record_metrics : ?labels:Metrics.labels -> Metrics.t -> report -> unit
 (** Publish a report: [repair_latency_ms] / [repair_detection_ms] /
     [repair_first_notify_ms] histograms (one sample per repaired fault, in
     injection order) and [repair_faults] / [repair_repaired] /
-    [repair_unrepaired] counters. *)
+    [repair_unrepaired] counters.  When the report has correlated tree
+    regrafts, additionally a [repair_regraft_ms] histogram and a
+    [repair_regrafts] counter — registered only then, so a span stream
+    without a dissemination tree keeps its instrument set unchanged. *)
 
 (** {2 Adaptive maintenance policy}
 
@@ -113,34 +124,59 @@ val record_metrics : ?labels:Metrics.labels -> Metrics.t -> report -> unit
 
 type policy = {
   target_ms : float;  (** repair-latency ceiling the controller chases; > 0 *)
-  headroom : float;  (** in (0, 1]: relax only when the window max < [headroom *. target_ms] *)
+  headroom : float;
+      (** in (0, 1]: relax only when the decision statistic
+          < [headroom *. target_ms] *)
   window : int;  (** observed samples per adjustment decision; >= 1 *)
+  sample_pct : float;
+      (** the decision statistic: the window's [sample_pct] percentile,
+          in (0, 100].  100 (the default) is the window max — the
+          original worst-sample rule, byte-identical arithmetic.  Lower
+          it (e.g. 90) to tune on the delivered-latency {e tail} while
+          ignoring the stray worst sample a lossy channel produces. *)
   step : float;  (** multiplicative step per adjustment; > 1 *)
   min_refresh : float;  (** refresh-period clamp, 0 < min <= max *)
   max_refresh : float;
   min_sweep : float;  (** sweep-period clamp, 0 < min <= max *)
   max_sweep : float;
+  min_digest : float;
+      (** digest-window clamp.  [max_digest = 0] (the default) disables
+          digest tuning entirely: the controller never moves the digest
+          window and {!digest_window} is [None].  Enabled
+          ([max_digest > 0]) requires [0 < min_digest <= max_digest]. *)
+  max_digest : float;
 }
 
 val default_policy : policy
-(** target 25,000 ms, headroom 0.5, window 3, step 2.0, refresh in
-    [2,500, 120,000] ms, sweep in [500, 60,000] ms. *)
+(** target 25,000 ms, headroom 0.5, window 3, sample_pct 100, step 2.0,
+    refresh in [2,500, 120,000] ms, sweep in [500, 60,000] ms, digest
+    tuning off. *)
+
+val tunes_digest : policy -> bool
+(** [max_digest > 0]. *)
 
 type controller
 
-val controller : ?refresh:float -> ?sweep:float -> policy -> controller
+val controller : ?refresh:float -> ?sweep:float -> ?digest:float -> policy -> controller
 (** Fresh controller starting from the given periods (defaults: the
-    maintenance defaults, 200,000 / 100,000 ms), clamped into the policy
-    bounds.  Raises [Invalid_argument] on out-of-range policy fields. *)
+    maintenance defaults, 200,000 / 100,000 ms, digest window 0), clamped
+    into the policy bounds (the digest only when tuning is enabled).
+    Raises [Invalid_argument] on out-of-range policy fields. *)
 
 val observe : controller -> float -> bool
 (** Feed one observed repair latency (ms).  Every [window]-th sample the
-    controller decides: window max over target tightens, window max under
-    [headroom *. target] relaxes, otherwise hold.  Returns [true] iff the
-    periods changed (the caller should re-arm its timers). *)
+    controller decides on the window's [sample_pct] percentile: over
+    target tightens (refresh up, sweep down, digest down), under
+    [headroom *. target] relaxes, otherwise hold.  Returns [true] iff
+    any period changed (the caller should re-arm its timers and, when
+    digest tuning is on, push the new window into the bus). *)
 
 val refresh_period : controller -> float
 val sweep_period : controller -> float
+
+val digest_window : controller -> float option
+(** The controller's current digest window; [None] when the policy does
+    not tune it ([max_digest = 0]). *)
 
 val adjustments : controller -> int
 (** Decisions that actually moved a period. *)

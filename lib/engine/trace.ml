@@ -9,6 +9,8 @@ type kind =
   | Fault_inject
   | Cache_request
   | Cache_replicate
+  | Mcast_deliver
+  | Mcast_regraft
 
 let kind_name = function
   | Route_hop -> "route_hop"
@@ -19,6 +21,8 @@ let kind_name = function
   | Fault_inject -> "fault_inject"
   | Cache_request -> "cache_request"
   | Cache_replicate -> "cache_replicate"
+  | Mcast_deliver -> "mcast_deliver"
+  | Mcast_regraft -> "mcast_regraft"
 
 type span = {
   seq : int;

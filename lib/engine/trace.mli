@@ -27,11 +27,20 @@ type kind =
   | Cache_replicate
       (** a hot entry was copied; [node] = overloaded source, [peer] =
           new replica host, [note] = the key *)
+  | Mcast_deliver
+      (** one dissemination-tree delivery; [node] = subscriber, [peer] =
+          its tree parent, [dur] = root-to-subscriber delivery latency,
+          [note] = [pub:<publish index>] *)
+  | Mcast_regraft
+      (** an orphaned subtree re-attached; [node] = the orphan's root,
+          [peer] = its new parent, [dur] = orphanhood duration (parent
+          loss to re-graft), [note] = [dead:<lost parent>] — the victim
+          tag {!Engine.Repair.analyze} correlates against *)
 
 val kind_name : kind -> string
 (** ["route_hop"], ["rtt_probe"], ["map_publish"], ["notify"],
     ["ttl_sweep"], ["fault_inject"], ["cache_request"],
-    ["cache_replicate"]. *)
+    ["cache_replicate"], ["mcast_deliver"], ["mcast_regraft"]. *)
 
 type span = {
   seq : int;  (** global emission index, 0-based, never reused *)

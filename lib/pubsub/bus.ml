@@ -45,7 +45,7 @@ type t = {
   sim : Sim.t option;
   latency : host:int -> subscriber:int -> float;
   channel : float -> float option;
-  digest_window : float;
+  mutable digest_window : float;
   subs : (int, subscription list ref) Hashtbl.t;  (* region key -> subscriptions *)
   pending : (int * int, batch) Hashtbl.t;  (* (subscriber, region key) -> open digest *)
   mutable next_id : int;
@@ -117,6 +117,14 @@ let delivered_count t = t.delivered
 let dropped_count t = t.dropped
 let batched_count t = t.batched
 let digest_window t = t.digest_window
+
+(* Open digests keep the delivery schedule they were created with; only
+   digests opened after the change see the new window — so a mid-run
+   re-tune (Maintenance's ?adapt) never reorders already-scheduled
+   deliveries. *)
+let set_digest_window t w =
+  if w < 0.0 then invalid_arg "Bus.set_digest_window: window must be >= 0";
+  t.digest_window <- w
 
 let store t = t.store
 

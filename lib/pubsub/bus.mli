@@ -94,7 +94,14 @@ val batched_count : t -> int
     per notification.  Always 0 at digest window 0. *)
 
 val digest_window : t -> float
-(** The virtual-time coalescing window this bus was created with. *)
+(** The virtual-time coalescing window currently in force. *)
+
+val set_digest_window : t -> float -> unit
+(** Change the coalescing window (must be >= 0; 0 reverts to per-
+    notification delivery).  Takes effect for digests {e opened} after
+    the call — digests already open flush at their original schedule, so
+    a mid-run re-tune (the adaptive maintenance controller) never
+    reorders deliveries that were already scheduled. *)
 
 val subscribe :
   t ->

@@ -93,12 +93,31 @@ let adaptive =
           Repair.target_ms = 15_000.0;
           headroom = 0.5;
           window = 8;
+          sample_pct = 100.0;
           step = 1.5;
           min_refresh = 10_000.0;
           max_refresh = 25_000.0;
           min_sweep = 1_000.0;
           max_sweep = 10_000.0;
+          min_digest = 0.0;
+          max_digest = 0.0;
         };
+  }
+
+(* Same storm, but the controller decides on the window's 90th percentile
+   of delivered repair latencies (the lossy channel's stray worst sample
+   no longer whipsaws the periods) and additionally tunes the digest
+   window inside [10, 100] ms. *)
+let adaptive_p90 =
+  {
+    label = "adaptive p90";
+    refresh = hand_picked.refresh;
+    sweep = hand_picked.sweep;
+    digest_window = 50.0;
+    adapt =
+      (match adaptive.adapt with
+      | Some p -> Some { p with Repair.sample_pct = 90.0; min_digest = 10.0; max_digest = 100.0 }
+      | None -> None);
   }
 
 let run_one ?(scale = 1) ?(seed = 11) ?(metrics = Engine.Metrics.global) cfg =
@@ -176,7 +195,7 @@ let run_one ?(scale = 1) ?(seed = 11) ?(metrics = Engine.Metrics.global) cfg =
   { config = cfg; report; final_refresh; final_sweep; adaptations; notifications; drops }
 
 let run ?(scale = 1) ?(seed = 11) ppf =
-  let results = List.map (run_one ~scale ~seed) (grid @ [ adaptive ]) in
+  let results = List.map (run_one ~scale ~seed) (grid @ [ adaptive; adaptive_p90 ]) in
   let size = max 24 (96 / scale) in
   let table =
     Tableout.create

@@ -39,6 +39,8 @@ let all =
       (fun ?scale ppf -> Exp_repair.run ?scale ppf);
     entry "cache" "Service layer: topology-aware Zipf content cache (all overlays)"
       (fun ?scale ppf -> Exp_cache.run ?scale ppf);
+    entry "mcast" "Dissemination trees: map-placed vs random relays under churn (all overlays)"
+      (fun ?scale ppf -> Exp_mcast.run ?scale ppf);
     entry "domains" "Domain-parallel hosting: byte-identical metrics across pool sizes"
       (fun ?scale ppf -> Exp_domains.run ?scale ppf);
     entry "alloc" "Allocation budget: exact minor words per hot-path op"

@@ -21,6 +21,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("workload", Test_workload.suite);
       ("cache", Test_cache.suite);
+      ("mcast", Test_mcast.suite);
       ("domains", Test_domains.suite);
       ("properties", Test_properties.suite);
       ("perf", Test_perf.suite);

@@ -260,9 +260,60 @@ let qcheck_controller_bounds =
         samples
       && Repair.observed c = List.length samples)
 
+let qcheck_controller_digest_bounds =
+  QCheck.Test.make
+    ~name:"digest-tuning controller keeps the window within [min_digest, max_digest]"
+    ~count:200
+    QCheck.(
+      triple (int_range 0 100_000)
+        (list_of_size Gen.(int_range 0 80) (int_range 0 100_000))
+        (float_range 0.0 500.0))
+    (fun (seed, samples, digest0) ->
+      let p =
+        {
+          Repair.default_policy with
+          Repair.target_ms = 10_000.0;
+          window = 1 + (seed mod 5);
+          step = 1.5 +. (float_of_int (seed mod 10) /. 10.0);
+          sample_pct = 50.0 +. float_of_int (seed mod 51);
+          min_refresh = 1_000.0;
+          max_refresh = 50_000.0;
+          min_sweep = 200.0;
+          max_sweep = 8_000.0;
+          min_digest = 5.0;
+          max_digest = 120.0;
+        }
+      in
+      let c =
+        Repair.controller ~refresh:(float_of_int (1 + (seed mod 60_000))) ~digest:digest0 p
+      in
+      let in_bounds () =
+        match Repair.digest_window c with
+        | Some w -> w >= p.Repair.min_digest && w <= p.Repair.max_digest
+        | None -> false
+      in
+      in_bounds ()
+      && List.for_all
+           (fun s ->
+             ignore (Repair.observe c (float_of_int s));
+             in_bounds ())
+           samples)
+
+let test_controller_digest_inert_without_bounds () =
+  (* max_digest = 0 (the default) leaves digest tuning off: the window
+     holds whatever it started at and digest_window reports None, so
+     Maintenance never touches the bus. *)
+  let c = Repair.controller ~refresh:10_000.0 ~digest:50.0 Repair.default_policy in
+  Alcotest.(check bool) "no digest tuning by default" true (Repair.digest_window c = None);
+  for _ = 1 to 20 do
+    ignore (Repair.observe c 1_000_000.0)
+  done;
+  Alcotest.(check bool) "still none after pressure" true (Repair.digest_window c = None)
+
 let test_controller_directions () =
   let p =
     {
+      Repair.default_policy with
       Repair.target_ms = 10_000.0;
       headroom = 0.5;
       window = 2;
@@ -479,6 +530,9 @@ let suite =
     QCheck_alcotest.to_alcotest qcheck_partition_and_monotone;
     QCheck_alcotest.to_alcotest qcheck_analyze_order_independent;
     QCheck_alcotest.to_alcotest qcheck_controller_bounds;
+    QCheck_alcotest.to_alcotest qcheck_controller_digest_bounds;
+    Alcotest.test_case "digest tuning inert without bounds" `Quick
+      test_controller_digest_inert_without_bounds;
     Alcotest.test_case "controller control directions" `Quick test_controller_directions;
     Alcotest.test_case "controller rejects bad policies" `Quick test_controller_validation;
     Alcotest.test_case "repair experiment replays byte-identically" `Quick
