@@ -176,7 +176,10 @@ let () =
     dump "+" "added (in fresh run, not in baseline)" !added;
     prerr_endline
       "  deliberate change? regenerate with:\n\
-      \      dune exec bench/main.exe -- --no-micro --scale 8 --json BENCH_BASELINE.json";
+      \      dune exec bench/main.exe -- --no-micro --scale 8 --json BENCH_BASELINE.json\n\
+      \  (single-experiment baselines — BENCH_JOIN / _REPAIR / _CACHE / _MCAST / _DEGREE /\n\
+      \   _DOMAINS / _BIGSCALE / _ALLOC — regenerate with the matching --only <name> flags\n\
+      \   from .github/workflows/ci.yml)";
     problem "instrument set drift: %d removed, %d added" (List.length !removed)
       (List.length !added)
   end;

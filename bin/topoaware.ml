@@ -35,7 +35,15 @@ let verbose_arg =
 
 let scale_arg =
   let doc = "Divide workload sizes by $(docv) for quicker runs." in
-  Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N" ~doc)
+  let positive =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | _ -> Error (`Msg (Printf.sprintf "expected a positive integer, got %S" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(value & opt positive 1 & info [ "scale" ] ~docv:"N" ~doc)
 
 let seed_arg =
   let doc = "Random seed (experiments are deterministic given the seed)." in
@@ -392,12 +400,28 @@ let cache_cmd =
     (Cmd.info "cache"
        ~doc:
          "Serve a seeded Zipf request workload through a content cache over every overlay \
-          (eCAN aware/random, CAN, Chord, Pastry) and report delivered latency percentiles, \
+          (eCAN aware/random, CAN, Chord, Pastry, Koorde) and report delivered latency percentiles, \
           hit rate, hotspot replications and per-node load")
     Term.(
       ret
         (const run $ verbose_arg $ seed_arg $ scale_arg $ zipf_arg $ clients_arg
         $ replicas_arg))
+
+(* ---- degree ---- *)
+
+let degree_cmd =
+  let run verbose seed scale =
+    setup_logs verbose;
+    Workload.Exp_degree.run_custom ~scale ~seed ppf;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "degree"
+       ~doc:
+         "Sweep the per-hop choice budget k over every overlay (eCAN, CAN, Chord, Pastry, \
+          Koorde — where k is also the de Bruijn fanout) and report topology-aware vs \
+          random stretch, RTT probes spent and churn-repair latency per (backend, k) cell")
+    Term.(ret (const run $ verbose_arg $ seed_arg $ scale_arg))
 
 (* ---- mcast ---- *)
 
@@ -433,7 +457,7 @@ let mcast_cmd =
     (Cmd.info "mcast"
        ~doc:
          "Disseminate a seeded publish schedule through bounded-degree multicast trees over \
-          every overlay (eCAN aware/random placement, CAN, Chord, Pastry), with parent loss \
+          every overlay (eCAN aware/random placement, CAN, Chord, Pastry, Koorde), with parent loss \
           detected through soft-state Departure_of watches, and report delivered latency, \
           stretch, link stress and regraft latency per backend")
     Term.(
@@ -553,4 +577,4 @@ let trace_cmd =
 let () =
   let doc = "Topology-aware overlay construction using global soft-state (ICDCS 2003)" in
   let info = Cmd.info "topoaware" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; experiment_cmd; gen_topology_cmd; topo_info_cmd; nn_search_cmd; build_cmd; churn_cmd; repair_cmd; cache_cmd; mcast_cmd; domains_cmd; trace_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; experiment_cmd; gen_topology_cmd; topo_info_cmd; nn_search_cmd; build_cmd; churn_cmd; repair_cmd; cache_cmd; mcast_cmd; degree_cmd; domains_cmd; trace_cmd ]))

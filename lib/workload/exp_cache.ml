@@ -34,6 +34,7 @@ module Can_overlay = Can.Overlay
 module Ecan_exp = Ecan.Expressway
 module Ring = Chord.Ring
 module Mesh = Pastry.Mesh
+module Dbj = Koorde.Debruijn
 module Landmarks = Landmark.Landmarks
 module Zone = Geometry.Zone
 module Point = Geometry.Point
@@ -198,6 +199,25 @@ let pastry_backend ~seed oracle b =
     publish_load = (fun ~node:_ ~load:_ -> ());
   }
 
+(* Koorde joins the service comparison as the constant-degree row: the
+   same hybrid vector-then-probe selection, but applied to image-arc
+   cover sets of only ~k candidates per node. *)
+let koorde_backend ~seed oracle b =
+  let dbj = Dbj.create ~degree:4 () in
+  let rng = Rng.create ((seed * 6007) + 3) in
+  Array.iter (fun id -> Dbj.add_node dbj ~rng id) b.Builder.members;
+  Dbj.build_fingers dbj ~selector:(fun ~node ~arc:_ ~candidates ->
+      hybrid_pick oracle (Builder.vector_of b) ~rtts:5 ~node ~candidates);
+  {
+    Cache.name = "koorde";
+    member = (fun node -> Dbj.mem dbj node);
+    home_of =
+      (fun key -> Dbj.successor_node dbj (mix62 key land ((1 lsl Dbj.key_bits dbj) - 1)));
+    route_to = (fun ~src ~dst -> Dbj.route dbj ~src ~key:(Dbj.key_of dbj dst));
+    near = oracle_near oracle b.Builder.members;
+    publish_load = (fun ~node:_ ~load:_ -> ());
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Driving one backend through the shared schedule                     *)
 (* ------------------------------------------------------------------ *)
@@ -313,12 +333,13 @@ let data ?(scale = 1) ?(seed = 42) ?(zipf_s = 0.9) ?clients ?(replicas = 3) ?met
   let can_row = go ~label:"can greedy" ~replicas (can_backend ~name:"can greedy" b) in
   let chord_row = go ~label:"chord" ~replicas (chord_backend ~seed oracle b) in
   let pastry_row = go ~label:"pastry" ~replicas (pastry_backend ~seed oracle b) in
+  let koorde_row = go ~label:"koorde" ~replicas (koorde_backend ~seed oracle b) in
   (* Same membership, same homes, same schedule — only the expressway
      tables change, so the latency delta is pure neighbor selection. *)
   Builder.rebuild_tables b Strategy.Random_pick;
   let random = go ~label:"ecan random" ~replicas (ecan_backend ~name:"ecan random" b) in
   Builder.rebuild_tables b b.Builder.config.Builder.strategy;
-  [ aware; random; can_row; chord_row; pastry_row; aware_norepl ]
+  [ aware; random; can_row; chord_row; pastry_row; koorde_row; aware_norepl ]
 
 let record_stats metrics s =
   let labels = [ ("backend", s.label) ] in
@@ -364,7 +385,7 @@ let run_custom ?(scale = 1) ?(seed = 42) ?(zipf_s = 0.9) ?clients ?(replicas = 3
   (* Headline gauges the CI gate holds: topology-aware beats random on
      the delivered tail at equal hit rate; replication flattens load. *)
   (match stats with
-  | [ aware; random; _; _; _; norepl ] ->
+  | [ aware; random; _; _; _; _; norepl ] ->
     let g name v = Metrics.set (Metrics.gauge metrics name) v in
     g "cache_random_over_aware_p50" (random.p50_ms /. aware.p50_ms);
     g "cache_random_over_aware_p99" (random.p99_ms /. aware.p99_ms);

@@ -4,7 +4,7 @@
     seeded duty cycle) issue Zipf-distributed requests for keys mapped
     onto the overlay key space; every backend — eCAN with topology-aware
     tables, the same eCAN rebuilt with random tables, plain greedy CAN,
-    Chord, Pastry — serves the {e identical} request schedule through
+    Chord, Pastry, Koorde — serves the {e identical} request schedule through
     {!Engine.Cache} and reports delivered-latency percentiles, hit rate,
     hotspot replications, load sheds and the max per-node load.  See the
     module comment in the implementation for the two controlled
@@ -39,7 +39,7 @@ val data :
   stats list
 (** Run every backend over the shared schedule and return the rows in
     order: eCAN aware, eCAN random-tables, plain CAN, Chord, Pastry,
-    eCAN aware with [replicas = 1] (replication disabled).  The first
+    Koorde, eCAN aware with [replicas = 1] (replication disabled).  The first
     three and the last share the same CAN substrate and key homes, so
     their hit rates are equal by construction. *)
 

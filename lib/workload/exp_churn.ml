@@ -10,6 +10,7 @@ module Can_overlay = Can.Overlay
 module Ecan_exp = Ecan.Expressway
 module Ring = Chord.Ring
 module Mesh = Pastry.Mesh
+module Dbj = Koorde.Debruijn
 module Landmarks = Landmark.Landmarks
 module Rng = Prelude.Rng
 
@@ -35,7 +36,7 @@ let liveness_period = 15_000.0
 let audit_period = 30_000.0
 let probe_period = 10_000.0
 let settle = 240_000.0
-let stab_period = 20_000.0 (* Chord/Pastry periodic stabilisation *)
+let stab_period = 20_000.0 (* Chord/Pastry/Koorde periodic stabilisation *)
 let stretch_samples = 256
 let min_membership = 8 (* never churn the overlay below this *)
 
@@ -196,13 +197,58 @@ let pastry_convergence ?(samples = 64) ~seed mesh =
       end
     end
 
+let koorde_convergence ?(samples = 64) ~seed dbj =
+  match Dbj.check_invariants dbj with
+  | Error _ as e -> e
+  | Ok () ->
+    let ids = Dbj.node_ids dbj in
+    if Array.length ids = 0 then Error "empty overlay"
+    else begin
+      (* Every cover list must match what a clean rebuild would compute
+         from the current membership: the charge of the image-arc start
+         plus every member inside the arc. *)
+      let stale = ref 0 in
+      Array.iter
+        (fun id ->
+          if Dbj.size dbj > 1 then begin
+            let lo, span = Dbj.image_arc dbj id in
+            let expected = Hashtbl.create 8 in
+            Hashtbl.replace expected (Dbj.charge_node dbj lo) ();
+            Array.iter (fun m -> Hashtbl.replace expected m ()) (Dbj.arc_members dbj ~lo ~span);
+            let cover = Dbj.cover dbj id in
+            if
+              Array.length cover <> Hashtbl.length expected
+              || not (Array.for_all (fun c -> Hashtbl.mem expected c) cover)
+            then incr stale
+          end)
+        ids;
+      if !stale > 0 then
+        Error (Printf.sprintf "%d cover lists diverge from the membership" !stale)
+      else begin
+        let rng = Rng.create seed in
+        let space = 1 lsl Dbj.key_bits dbj in
+        let bad = ref 0 in
+        for _ = 1 to samples do
+          let src = Rng.pick rng ids in
+          let key = Rng.int rng space in
+          match Dbj.route dbj ~src ~key with
+          | Some (_ :: _ as hops)
+            when List.nth hops (List.length hops - 1) = Dbj.successor_node dbj key -> ()
+          | _ -> incr bad
+        done;
+        if !bad = 0 then Ok ()
+        else Error (Printf.sprintf "%d of %d routes missed the key successor" !bad samples)
+      end
+    end
+
 (* ------------------------------------------------------------------ *)
 (* eCAN (and plain-CAN baseline) under the storm                       *)
 (* ------------------------------------------------------------------ *)
 
 let ecan_outcomes ?(size = 256) ?(seed = 11) ?(storm = Faults.default_storm)
     ?(channel = Faults.reliable) ?(shards = 1) ?(digest_window = 0.0) ?(probe_window = 1)
-    ?(domains = 0) ?(labels = [ ("experiment", "churn") ]) oracle =
+    ?(domains = 0) ?(labels = [ ("experiment", "churn") ])
+    ?(strategy = Builder.default_config.Builder.strategy) oracle =
   let sim = Sim.create () in
   let faults = Faults.create ~channel ~seed:(seed * 1009 + 1) () in
   let config =
@@ -212,6 +258,7 @@ let ecan_outcomes ?(size = 256) ?(seed = 11) ?(storm = Faults.default_storm)
       shards;
       probe = { Engine.Probe.default_config with Engine.Probe.window = probe_window };
       domains;
+      strategy;
       seed = seed * 1009 + 2 }
   in
   (* The whole eCAN stack reports into the global registry under an
@@ -354,8 +401,10 @@ let hybrid_pick oracle vector_of ~rtts ~node ~candidates =
   | Some (_, c) -> Some c
   | None -> None
 
-(* The Chord and Pastry drivers share everything but the overlay calls. *)
-let ring_like_outcome ~overlay ~size ~seed ~storm ~oracle ops =
+(* The Chord, Pastry and Koorde drivers share everything but the overlay
+   calls.  [pick] overrides the default hybrid selection (rtts = 5) —
+   the degree experiment injects budget-constrained policies here. *)
+let ring_like_outcome ~overlay ~size ~seed ~storm ~oracle ?pick:pick_override ops =
   let member_rng = Rng.create (seed * 2003 + 1) in
   let all = Array.init (Oracle.node_count oracle) (fun i -> i) in
   let members = Rng.sample member_rng size all in
@@ -372,7 +421,9 @@ let ring_like_outcome ~overlay ~size ~seed ~storm ~oracle ops =
   let work = ref 0 in
   let pick ~node ~candidates =
     incr work;
-    hybrid_pick oracle vector_of ~rtts:5 ~node ~candidates
+    match pick_override with
+    | Some f -> f ~node ~candidates
+    | None -> hybrid_pick oracle vector_of ~rtts:5 ~node ~candidates
   in
   let add, remove, rebuild, node_ids, stretch_once, convergence = ops ~pick in
   Array.iter add members;
@@ -448,10 +499,10 @@ let ring_like_outcome ~overlay ~size ~seed ~storm ~oracle ops =
     converged;
   }
 
-let chord_outcome ?(size = 256) ?(seed = 11) ?(storm = Faults.default_storm) oracle =
+let chord_outcome ?(size = 256) ?(seed = 11) ?(storm = Faults.default_storm) ?pick oracle =
   let ring = Ring.create () in
   let ring_rng = Rng.create (seed * 2003 + 9) in
-  ring_like_outcome ~overlay:"Chord+stab" ~size ~seed ~storm ~oracle (fun ~pick ->
+  ring_like_outcome ~overlay:"Chord+stab" ~size ~seed ~storm ~oracle ?pick (fun ~pick ->
       let add id = Ring.add_node ring ~rng:ring_rng id in
       let remove id = Ring.remove_node ring id in
       let rebuild () =
@@ -478,10 +529,10 @@ let chord_outcome ?(size = 256) ?(seed = 11) ?(storm = Faults.default_storm) ora
       let convergence ~seed = chord_convergence ~seed ring in
       (add, remove, rebuild, node_ids, stretch_once, convergence))
 
-let pastry_outcome ?(size = 256) ?(seed = 11) ?(storm = Faults.default_storm) oracle =
+let pastry_outcome ?(size = 256) ?(seed = 11) ?(storm = Faults.default_storm) ?pick oracle =
   let mesh = Mesh.create () in
   let mesh_rng = Rng.create (seed * 2003 + 10) in
-  ring_like_outcome ~overlay:"Pastry+stab" ~size ~seed ~storm ~oracle (fun ~pick ->
+  ring_like_outcome ~overlay:"Pastry+stab" ~size ~seed ~storm ~oracle ?pick (fun ~pick ->
       let add id = Mesh.add_node mesh ~rng:mesh_rng id in
       let remove id = Mesh.remove_node mesh id in
       let rebuild () =
@@ -509,6 +560,37 @@ let pastry_outcome ?(size = 256) ?(seed = 11) ?(storm = Faults.default_storm) or
       let convergence ~seed = pastry_convergence ~seed mesh in
       (add, remove, rebuild, node_ids, stretch_once, convergence))
 
+let koorde_outcome ?(size = 256) ?(seed = 11) ?(storm = Faults.default_storm) ?(degree = 4)
+    ?pick oracle =
+  let dbj = Dbj.create ~degree () in
+  let dbj_rng = Rng.create (seed * 2003 + 11) in
+  ring_like_outcome ~overlay:"Koorde+stab" ~size ~seed ~storm ~oracle ?pick (fun ~pick ->
+      let add id = Dbj.add_node dbj ~rng:dbj_rng id in
+      let remove id = Dbj.remove_node dbj id in
+      let rebuild () =
+        Dbj.build_fingers dbj ~selector:(fun ~node ~arc:_ ~candidates -> pick ~node ~candidates)
+      in
+      let node_ids () = Dbj.node_ids dbj in
+      let stretch_once probe_seed =
+        let rng = Rng.create probe_seed in
+        let ids = Dbj.node_ids dbj in
+        let acc = ref [] in
+        for _ = 1 to stretch_samples do
+          let src = Rng.pick rng ids in
+          let key = Rng.int rng (1 lsl Dbj.key_bits dbj) in
+          match Dbj.route dbj ~src ~key with
+          | Some hops ->
+            let owner = Dbj.successor_node dbj key in
+            let shortest = Oracle.dist oracle src owner in
+            if shortest > 0.0 then
+              acc := (Core.Measure.path_latency oracle hops /. shortest) :: !acc
+          | None -> ()
+        done;
+        mean !acc
+      in
+      let convergence ~seed = koorde_convergence ~seed dbj in
+      (add, remove, rebuild, node_ids, stretch_once, convergence))
+
 (* ------------------------------------------------------------------ *)
 (* The experiment                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -525,6 +607,7 @@ let run_custom ?(scale = 1) ?(seed = 11) ?(shards = 1) ?(digest_window = 0.0)
   in
   let chord_o = chord_outcome ~size ~seed ~storm oracle in
   let pastry_o = pastry_outcome ~size ~seed ~storm oracle in
+  let koorde_o = koorde_outcome ~size ~seed ~storm oracle in
   let table =
     Tableout.create
       ~title:
@@ -569,13 +652,13 @@ let run_custom ?(scale = 1) ?(seed = 11) ?(shards = 1) ?(digest_window = 0.0)
     g "churn_drops" (float_of_int o.drops);
     g "churn_converged" (if o.converged then 1.0 else 0.0)
   in
-  List.iter record [ ecan_o; can_o; chord_o; pastry_o ];
-  List.iter row [ ecan_o; can_o; chord_o; pastry_o ];
+  List.iter record [ ecan_o; can_o; chord_o; pastry_o; koorde_o ];
+  List.iter row [ ecan_o; can_o; chord_o; pastry_o; koorde_o ];
   Tableout.render ppf table;
   Format.fprintf ppf
     "  repair ms: storm end to first passing convergence oracle (probe every %.0fs).@."
     (probe_period /. 1000.0);
   Format.fprintf ppf
-    "  work: slot re-selections (eCAN) / stabilisation selector calls (Chord, Pastry).@."
+    "  work: slot re-selections (eCAN) / stabilisation selector calls (Chord, Pastry, Koorde).@."
 
 let run ?scale ?seed ppf = run_custom ?scale ?seed ~storm:Faults.default_storm ~channel:default_channel ppf

@@ -2,9 +2,10 @@
 
     The paper's central claim (§3.3–3.4, §5.2) is that global soft-state
     plus publish/subscribe maintenance keeps topology-aware overlays
-    accurate {e under change}.  This workload drives all four overlays —
+    accurate {e under change}.  This workload drives all five overlays —
     eCAN with the full soft-state/pub-sub machinery, plain CAN on the same
-    substrate, and Chord / Pastry under periodic stabilisation — through
+    substrate, and Chord / Pastry / Koorde under periodic stabilisation —
+    through
     the {e same} seeded fault storm (fail-stop crashes, graceful leaves,
     join bursts, stale-state injection, lossy/delayed notification
     delivery) and reports, per overlay:
@@ -13,7 +14,7 @@
     - {e repair latency}: time from the end of the storm until the
       convergence oracle first passes;
     - {e repair work}: slot re-selections (eCAN) or stabilisation
-      selector invocations (Chord/Pastry);
+      selector invocations (Chord/Pastry/Koorde);
     - notification overhead and channel drops (eCAN's pub/sub plane).
 
     Everything is deterministic from the seed: re-running with the same
@@ -51,6 +52,13 @@ val pastry_convergence : ?samples:int -> seed:int -> Pastry.Mesh.t -> (unit, str
     routing slot whose prefix region is inhabited is filled, and seeded
     random routes all terminate at the key's owner. *)
 
+val koorde_convergence :
+  ?samples:int -> seed:int -> Koorde.Debruijn.t -> (unit, string) result
+(** Convergence oracle for Koorde: structural invariants hold, every
+    member's cover list matches a clean rebuild from the current
+    membership (arc charge plus image-arc members), and seeded random
+    routes all terminate at the key's successor. *)
+
 val ecan_outcomes :
   ?size:int ->
   ?seed:int ->
@@ -61,6 +69,7 @@ val ecan_outcomes :
   ?probe_window:int ->
   ?domains:int ->
   ?labels:(string * string) list ->
+  ?strategy:Core.Strategy.t ->
   Topology.Oracle.t ->
   outcome * outcome
 (** Drive an eCAN (with pub/sub repair, liveness polling, TTL sweeps and
@@ -79,16 +88,41 @@ val ecan_outcomes :
     [labels] (default [[("experiment", "churn")]]) is the label set the
     whole eCAN stack reports under in the global registry, so other
     experiments (e.g. the big-scale rows) can reuse this driver without
-    colliding with the churn experiment's instruments. *)
+    colliding with the churn experiment's instruments.  [strategy]
+    (default: the builder's default hybrid selection) overrides the
+    neighbor-selection strategy — the degree experiment sweeps RTT
+    budgets through it. *)
 
 val chord_outcome :
-  ?size:int -> ?seed:int -> ?storm:Engine.Faults.storm -> Topology.Oracle.t -> outcome
+  ?size:int ->
+  ?seed:int ->
+  ?storm:Engine.Faults.storm ->
+  ?pick:(node:int -> candidates:int array -> int option) ->
+  Topology.Oracle.t ->
+  outcome
 (** Chord under the same storm, repaired by periodic stabilisation (full
-    finger rebuild with landmark+RTT hybrid selection). *)
+    finger rebuild with landmark+RTT hybrid selection; [pick] overrides
+    the selection policy). *)
 
 val pastry_outcome :
-  ?size:int -> ?seed:int -> ?storm:Engine.Faults.storm -> Topology.Oracle.t -> outcome
+  ?size:int ->
+  ?seed:int ->
+  ?storm:Engine.Faults.storm ->
+  ?pick:(node:int -> candidates:int array -> int option) ->
+  Topology.Oracle.t ->
+  outcome
 (** Pastry under the same storm, repaired by periodic table rebuild. *)
+
+val koorde_outcome :
+  ?size:int ->
+  ?seed:int ->
+  ?storm:Engine.Faults.storm ->
+  ?degree:int ->
+  ?pick:(node:int -> candidates:int array -> int option) ->
+  Topology.Oracle.t ->
+  outcome
+(** Koorde under the same storm, repaired by periodic cover rebuild.
+    [degree] (default 4) is the de Bruijn fanout k. *)
 
 val run : ?scale:int -> ?seed:int -> Format.formatter -> unit
 (** The registry entry: default storm and channel, tsk-large/manual

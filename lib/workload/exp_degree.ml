@@ -1,0 +1,248 @@
+(* Constant-degree frontier: what does a per-hop choice budget of k buy?
+
+   Every overlay here exposes some neighbor-selection flexibility, but
+   the width differs wildly: eCAN expressway slots and Chord finger arcs
+   offer large candidate regions, while a degree-k de Bruijn node only
+   ever chooses among the ~k members of its image arc.  This experiment
+   makes the budget explicit and sweeps it: for k in {2,4,8,16}, every
+   backend's table build may spend at most k RTT probes per slot (for
+   Koorde, k additionally {e is} the de Bruijn fanout — its candidate set
+   and its probe budget shrink together), and we measure
+
+   - routing stretch with topology-aware selection under that budget,
+     against the same overlay built with random selection (the ratio is
+     what the budget bought);
+   - maintenance traffic: RTT probes spent across build + stabilisation
+     (Chord / Pastry / Koorde) and repair work / notifications (eCAN);
+   - churn-repair latency under the standard seeded storm, reusing the
+     churn experiment's drivers verbatim so rows are comparable with the
+     churn table.
+
+   Plain greedy CAN rides along as the zero-flexibility control: it has
+   no selection to make, so aware = random and the ratio pins 1.0.
+
+   Determinism: one seed fixes the storm, the membership and the probe
+   schedule for every (backend, k) cell; the same storm replays against
+   every cell, so the k axis is the only thing moving. *)
+
+module Oracle = Topology.Oracle
+module Builder = Core.Builder
+module Strategy = Core.Strategy
+module Measure = Core.Measure
+module Metrics = Engine.Metrics
+module Faults = Engine.Faults
+module Landmarks = Landmark.Landmarks
+module Rng = Prelude.Rng
+
+let ks = [ 2; 4; 8; 16 ]
+let stretch_pairs = 256
+let size_of ~scale = max 32 (256 / max 1 scale)
+
+type row = {
+  backend : string;
+  k : int;
+  aware : float;  (* mean stretch, landmark+RTT selection under budget k *)
+  random : float;  (* mean stretch, random selection on the same overlay *)
+  probes : int;  (* RTT probes spent by the aware run; -1 = not applicable *)
+  repair_ms : float;
+  work : int;
+  converged : bool;
+}
+
+(* Landmark vectors shared by the ring-like rows: same landmark choice
+   as [Exp_churn.ring_like_outcome] (seed * 2003 + 2), so the rtts = k
+   policy injected below agrees with the churn driver's own hybrid. *)
+let vector_cache oracle ~seed =
+  let lms = Landmarks.choose (Rng.create ((seed * 2003) + 2)) oracle 15 in
+  let tbl = Hashtbl.create 512 in
+  fun node ->
+    match Hashtbl.find_opt tbl node with
+    | Some v -> v
+    | None ->
+      let v = Landmarks.vector lms node in
+      Hashtbl.replace tbl node v;
+      v
+
+(* The xover/cache experiments' vector-then-probe selection, with the
+   probe budget as a parameter and every RTT measurement counted. *)
+let counted_hybrid oracle vector_of ~rtts probes ~node ~candidates =
+  let qvec = vector_of node in
+  let ranked =
+    candidates
+    |> Array.to_list
+    |> List.filter (fun c -> c <> node)
+    |> List.map (fun c -> (Landmarks.vector_dist qvec (vector_of c), c))
+    |> List.sort compare
+    |> List.map snd
+  in
+  let rec go best = function
+    | [] -> Option.map snd best
+    | c :: rest ->
+      incr probes;
+      let d = Oracle.measure oracle node c in
+      go (match best with Some (bd, _) when bd <= d -> best | _ -> Some (d, c)) rest
+  in
+  go None (List.filteri (fun i _ -> i < rtts) ranked)
+
+let random_pick rng ~node:_ ~candidates =
+  if Array.length candidates = 0 then None else Some (Rng.pick rng candidates)
+
+(* One ring-like cell: run the churn driver twice on identical storms —
+   once with the counted budget-k hybrid (stretch, probes, repair), once
+   with random selection (its pre-storm stretch is the control). *)
+let ring_like_row ~name ~k ~seed outcome_of oracle =
+  let vector_of = vector_cache oracle ~seed in
+  let probes = ref 0 in
+  let aware_o =
+    outcome_of ~pick:(counted_hybrid oracle vector_of ~rtts:k probes)
+  in
+  let rng = Rng.create ((seed * 31) + k) in
+  let random_o = outcome_of ~pick:(random_pick rng) in
+  {
+    backend = name;
+    k;
+    aware = aware_o.Exp_churn.stretch_before;
+    random = random_o.Exp_churn.stretch_before;
+    probes = !probes;
+    repair_ms = aware_o.Exp_churn.repair_ms;
+    work = aware_o.Exp_churn.repair_work;
+    converged = aware_o.Exp_churn.converged;
+  }
+
+let data ?(scale = 1) ?(seed = 11) () =
+  let oracle = Ctx.oracle ~scale Ctx.Tsk_large Topology.Transit_stub.Manual in
+  let size = size_of ~scale in
+  let storm = Faults.default_storm in
+  (* Random-tables eCAN control: same membership (same builder seed as
+     the storm build below), tables rebuilt blind — k-independent, so it
+     is measured once and shared by every eCAN cell. *)
+  let random_b =
+    Builder.build oracle
+      {
+        Builder.default_config with
+        Builder.overlay_size = size;
+        strategy = Strategy.Random_pick;
+        seed = (seed * 1009) + 2;
+      }
+  in
+  let ecan_random =
+    (Measure.route_stretch ~pairs:stretch_pairs random_b).Measure.stretch
+      .Prelude.Stats.mean
+  in
+  List.concat_map
+    (fun k ->
+      (* The eCAN stack reports under experiment=degree / k=<k> labels so
+         its instruments never collide with the churn experiment's. *)
+      let labels = [ ("experiment", "degree"); ("k", string_of_int k) ] in
+      let ecan_o, can_o =
+        Exp_churn.ecan_outcomes ~size ~seed ~storm ~labels
+          ~strategy:(Strategy.hybrid ~rtts:k ()) oracle
+      in
+      let ecan_row =
+        {
+          backend = "ecan";
+          k;
+          aware = ecan_o.Exp_churn.stretch_before;
+          random = ecan_random;
+          probes = -1;
+          repair_ms = ecan_o.Exp_churn.repair_ms;
+          work = ecan_o.Exp_churn.repair_work;
+          converged = ecan_o.Exp_churn.converged;
+        }
+      in
+      let can_row =
+        (* zero-flexibility control: no selection, aware = random *)
+        {
+          backend = "can";
+          k;
+          aware = can_o.Exp_churn.stretch_before;
+          random = can_o.Exp_churn.stretch_before;
+          probes = -1;
+          repair_ms = can_o.Exp_churn.repair_ms;
+          work = can_o.Exp_churn.repair_work;
+          converged = can_o.Exp_churn.converged;
+        }
+      in
+      let chord_row =
+        ring_like_row ~name:"chord" ~k ~seed
+          (fun ~pick -> Exp_churn.chord_outcome ~size ~seed ~storm ~pick oracle)
+          oracle
+      in
+      let pastry_row =
+        ring_like_row ~name:"pastry" ~k ~seed
+          (fun ~pick -> Exp_churn.pastry_outcome ~size ~seed ~storm ~pick oracle)
+          oracle
+      in
+      let koorde_row =
+        (* k is both the probe budget and the de Bruijn fanout: the
+           candidate set and the budget shrink together. *)
+        ring_like_row ~name:"koorde" ~k ~seed
+          (fun ~pick ->
+            Exp_churn.koorde_outcome ~size ~seed ~storm ~degree:k ~pick oracle)
+          oracle
+      in
+      [ ecan_row; can_row; chord_row; pastry_row; koorde_row ])
+    ks
+
+let record_row metrics r =
+  let labels = [ ("backend", r.backend); ("k", string_of_int r.k) ] in
+  let g name v = Metrics.set (Metrics.gauge metrics ~labels name) v in
+  g "degree_stretch_aware" r.aware;
+  g "degree_stretch_random" r.random;
+  g "degree_stretch_ratio" (r.random /. r.aware);
+  g "degree_repair_ms" r.repair_ms;
+  g "degree_work" (float_of_int r.work);
+  g "degree_converged" (if r.converged then 1.0 else 0.0);
+  if r.probes >= 0 then g "degree_probes" (float_of_int r.probes)
+
+let run_custom ?(scale = 1) ?(seed = 11) ppf =
+  let metrics = Metrics.global in
+  let rows = data ~scale ~seed () in
+  let size = size_of ~scale in
+  let table =
+    Tableout.create
+      ~title:
+        (Printf.sprintf
+           "Degree sweep: probe budget k per table slot over %d nodes (Koorde fanout = k), \
+            standard storm, seed %d"
+           size seed)
+      ~columns:
+        [ "backend"; "k"; "aware"; "random"; "ratio"; "probes"; "repair ms"; "work"; "ok" ]
+  in
+  List.iter
+    (fun r ->
+      record_row metrics r;
+      Tableout.add_row table
+        [
+          r.backend;
+          string_of_int r.k;
+          Tableout.cell_f r.aware;
+          Tableout.cell_f r.random;
+          Printf.sprintf "%.2f" (r.random /. r.aware);
+          (if r.probes >= 0 then string_of_int r.probes else "-");
+          (if Float.is_nan r.repair_ms then "-" else Printf.sprintf "%.0f" r.repair_ms);
+          Tableout.cell_i r.work;
+          (if r.converged then "yes" else "NO");
+        ])
+    rows;
+  (* Headline gauges the CI gate holds: what topology-aware selection
+     buys at the constant-degree frontier, per fanout.  (At small node
+     counts the largest fanout's arcs cover half the ring and the ratio
+     legitimately approaches 1.0 — the gate pins the trajectory, not a
+     ">1 everywhere" claim.) *)
+  List.iter
+    (fun r ->
+      if r.backend = "koorde" then
+        Metrics.set
+          (Metrics.gauge metrics (Printf.sprintf "degree_random_over_aware_k%d" r.k))
+          (r.random /. r.aware))
+    rows;
+  Tableout.render ppf table;
+  Format.fprintf ppf
+    "  aware/random: mean pre-storm stretch with landmark+RTT vs random selection under \
+     the same k-probe budget; can is the zero-flexibility control (ratio 1.0).@.";
+  Format.fprintf ppf
+    "  probes: RTT measurements across build + stabilisation (Chord/Pastry/Koorde); \
+     repair ms / work as in the churn table.@."
+
+let run ?scale ?seed ppf = run_custom ?scale ?seed ppf

@@ -4,7 +4,8 @@
    through [Engine.Mcast] trees over every backend: two trees on the
    same eCAN overlay differing only in placement policy (soft-state
    [Aware] vs seeded [Random] — the headline pair), plus trees routed
-   over plain CAN, Chord and Pastry.  During a static phase the group is
+   over plain CAN, Chord, Pastry and Koorde.  During a static phase the
+   group is
    stable, so the aware and random rows deliver exactly the same count
    and the stretch/stress/latency gaps are pure placement.  A churn
    storm then crashes, departs and joins group members: parent loss is
@@ -36,6 +37,7 @@ module Can_overlay = Can.Overlay
 module Ecan_exp = Ecan.Expressway
 module Ring = Chord.Ring
 module Mesh = Pastry.Mesh
+module Dbj = Koorde.Debruijn
 module Landmarks = Landmark.Landmarks
 module Zone = Geometry.Zone
 module Stats = Prelude.Stats
@@ -284,6 +286,39 @@ let pastry_arm ~seed oracle b =
         Mesh.build_tables mesh ~selector);
   }
 
+(* Koorde: constant-degree row.  Same hybrid selection over the ~k-wide
+   image-arc cover sets; like Chord/Pastry it keeps its own structure, so
+   churn events rebuild the de Bruijn entries. *)
+let koorde_arm ~seed oracle b =
+  let dbj = Dbj.create ~degree:4 () in
+  let rng = Rng.create ((seed * 6007) + 3) in
+  Array.iter (fun id -> Dbj.add_node dbj ~rng id) b.Builder.members;
+  let selector ~node ~arc:_ ~candidates =
+    hybrid_pick oracle (Builder.vector_of b) ~rtts:5 ~node ~candidates
+  in
+  Dbj.build_fingers dbj ~selector;
+  {
+    backend =
+      {
+        Mcast.name = "koorde";
+        member = (fun node -> Dbj.mem dbj node);
+        route_to =
+          (fun ~src ~dst ->
+            if not (Dbj.mem dbj dst) then None
+            else Dbj.route dbj ~src ~key:(Dbj.key_of dbj dst));
+        candidates = oracle_candidates oracle (fun () -> Dbj.node_ids dbj);
+        publish_load = (fun ~node:_ ~load:_ -> ());
+      };
+    on_remove =
+      (fun v ->
+        Dbj.remove_node dbj v;
+        Dbj.build_fingers dbj ~selector);
+    on_join =
+      (fun n ->
+        Dbj.add_node dbj ~rng n;
+        Dbj.build_fingers dbj ~selector);
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Driving one row through the shared schedule                         *)
 (* ------------------------------------------------------------------ *)
@@ -308,7 +343,7 @@ type stats = {
 
 let probe_cache_ttl = 600_000.0
 
-type kind = Ecan_aware | Ecan_random | Can_greedy | Chord_row | Pastry_row
+type kind = Ecan_aware | Ecan_random | Can_greedy | Chord_row | Pastry_row | Koorde_row
 
 let run_row ?metrics ~domains ~scale ~seed ~degree ~subscribers ~events ~label kind =
   let oracle = Ctx.oracle ~scale Ctx.Tsk_large Topology.Transit_stub.Manual in
@@ -350,6 +385,7 @@ let run_row ?metrics ~domains ~scale ~seed ~degree ~subscribers ~events ~label k
     | Can_greedy -> can_arm ~name:label b
     | Chord_row -> chord_arm ~seed oracle b
     | Pastry_row -> pastry_arm ~seed oracle b
+    | Koorde_row -> koorde_arm ~seed oracle b
   in
   let policy = match kind with Ecan_random -> Mcast.Random | _ -> Mcast.Aware in
   let tree =
@@ -522,7 +558,12 @@ let data ?(scale = 1) ?(seed = 42) ?group_size ?(degree = 3) ?policy ?(domains =
     | Some Mcast.Aware -> [ (Ecan_aware, "ecan aware") ]
     | Some Mcast.Random -> [ (Ecan_random, "ecan random") ]
     | None -> [ (Ecan_aware, "ecan aware"); (Ecan_random, "ecan random") ])
-    @ [ (Can_greedy, "can greedy"); (Chord_row, "chord"); (Pastry_row, "pastry") ]
+    @ [
+        (Can_greedy, "can greedy");
+        (Chord_row, "chord");
+        (Pastry_row, "pastry");
+        (Koorde_row, "koorde");
+      ]
   in
   List.map
     (fun (kind, label) ->

@@ -1,9 +1,10 @@
 (** Dissemination-tree comparison over the soft-state maps.
 
     Runs one {!Engine.Mcast} group — same subscribers, same seeded
-    publish schedule, same churn storm — over five backends: eCAN trees
+    publish schedule, same churn storm — over six backend rows: eCAN trees
     with soft-state-aware placement, the same eCAN overlay with random
-    placement (the control arm), plain greedy CAN, Chord and Pastry.
+    placement (the control arm), plain greedy CAN, Chord, Pastry and
+    Koorde (the constant-degree de Bruijn frontier).
     The static phase (before the storm) delivers to an identical group
     on the aware and random rows, so the stretch / link-stress /
     delivered-latency gaps are pure placement; the churn phase crashes,

@@ -1,6 +1,7 @@
 module Oracle = Topology.Oracle
 module Ring = Chord.Ring
 module Mesh = Pastry.Mesh
+module Dbj = Koorde.Debruijn
 module Landmarks = Landmark.Landmarks
 module Number = Landmark.Number
 module Stats = Prelude.Stats
@@ -187,6 +188,66 @@ let pastry_stretch oracle members pick_name pick =
   done;
   stretch_summary oracle !routes
 
+let koorde_stretch oracle members pick_name pick =
+  let rng = Rng.create 31343 in
+  let dbj = Dbj.create ~degree:4 () in
+  Array.iter (fun id -> Dbj.add_node dbj ~rng id) members;
+  Dbj.build_fingers dbj ~selector:(fun ~node ~arc:_ ~candidates -> pick ~node ~candidates);
+  let route_rng = Rng.create 557 in
+  let routes = ref [] in
+  for _ = 1 to route_count do
+    let src = Rng.pick route_rng members in
+    let key = Rng.int route_rng (1 lsl Dbj.key_bits dbj) in
+    match Dbj.route dbj ~src ~key with
+    | Some hops ->
+      let owner = Dbj.successor_node dbj key in
+      routes := (hops, Oracle.dist oracle src owner) :: !routes
+    | None -> failwith ("koorde routing failed under " ^ pick_name)
+  done;
+  stretch_summary oracle !routes
+
+(* Koorde with the soft-state map stored on its own ring (same appendix
+   placement as Chord — the identifier ring is the same structure): the
+   preferred de Bruijn entry is selected through a real map lookup
+   constrained to the image arc, then RTT probes. *)
+let koorde_ringmap_stretch oracle members scheme vector_of =
+  let rng = Rng.create 31344 in
+  let dbj = Dbj.create ~degree:4 () in
+  Array.iter (fun id -> Dbj.add_node dbj ~rng id) members;
+  let map = Koorde.Softmap.create ~scheme dbj in
+  Array.iter (fun id -> Koorde.Softmap.publish map ~node:id ~vector:(vector_of id)) members;
+  let fallback_rng = Rng.create 31345 in
+  Dbj.build_fingers dbj ~selector:(fun ~node ~arc ~candidates ->
+      let entries =
+        Koorde.Softmap.lookup map ~vector:(vector_of node) ~in_arc:arc
+          ~max_results:rtt_budget ~ttl:64 ()
+      in
+      let entries = List.filter (fun e -> e.Koorde.Softmap.node <> node) entries in
+      match entries with
+      | [] -> Some (Rng.pick fallback_rng candidates)
+      | entries ->
+        let best = ref None in
+        List.iter
+          (fun (e : Koorde.Softmap.entry) ->
+            let d = Oracle.measure oracle node e.Koorde.Softmap.node in
+            match !best with
+            | Some (bd, _) when bd <= d -> ()
+            | _ -> best := Some (d, e.Koorde.Softmap.node))
+          entries;
+        (match !best with Some (_, c) -> Some c | None -> None));
+  let route_rng = Rng.create 557 in
+  let routes = ref [] in
+  for _ = 1 to route_count do
+    let src = Rng.pick route_rng members in
+    let key = Rng.int route_rng (1 lsl Dbj.key_bits dbj) in
+    match Dbj.route dbj ~src ~key with
+    | Some hops ->
+      let owner = Dbj.successor_node dbj key in
+      routes := (hops, Oracle.dist oracle src owner) :: !routes
+    | None -> failwith "koorde routing failed under ring-map hybrid"
+  done;
+  stretch_summary oracle !routes
+
 let run ?(scale = 1) ppf =
   let oracle = Ctx.oracle ~scale Ctx.Tsk_large Topology.Transit_stub.Manual in
   let size = max 128 (overlay_size / scale) in
@@ -201,7 +262,7 @@ let run ?(scale = 1) ppf =
     Tableout.create
       ~title:
         (Printf.sprintf
-           "Generality: proximity selection on Chord and Pastry (%d nodes, tsk-large manual)"
+           "Generality: proximity selection on Chord, Pastry and Koorde (%d nodes, tsk-large manual)"
            size)
       ~columns:[ "overlay"; "random"; "hybrid (lmk+RTT)"; "optimal" ]
   in
@@ -223,6 +284,7 @@ let run ?(scale = 1) ppf =
   in
   row "Chord" chord_stretch;
   row "Pastry" pastry_stretch;
+  row "Koorde" koorde_stretch;
   Tableout.render ppf table;
   (* The ring-map variant exercises the actual on-ring storage path. *)
   let scheme =
@@ -237,4 +299,8 @@ let run ?(scale = 1) ppf =
   let prefixmap = pastry_prefixmap_stretch oracle members scheme vector_of in
   Format.fprintf ppf
     "  Pastry with maps stored under the prefixes:   stretch %.3f (vs idealised hybrid above)@."
-    prefixmap.Stats.mean
+    prefixmap.Stats.mean;
+  let koordemap = koorde_ringmap_stretch oracle members scheme vector_of in
+  Format.fprintf ppf
+    "  Koorde with the map stored on its ring:       stretch %.3f (vs idealised hybrid above)@."
+    koordemap.Stats.mean

@@ -1,6 +1,7 @@
 (** §5 generality claim: the landmark+RTT selection technique applies to
     any overlay with neighbor-selection flexibility.  Runs Chord (finger
-    arcs) and Pastry (prefix regions) under random / hybrid / optimal
-    selection and reports routing stretch. *)
+    arcs), Pastry (prefix regions) and Koorde (de Bruijn image arcs —
+    the constant-degree frontier, only ~k candidates per node) under
+    random / hybrid / optimal selection and reports routing stretch. *)
 
 val run : ?scale:int -> Format.formatter -> unit

@@ -24,7 +24,7 @@ let all =
     entry "gap" "Section 5.4: stretch penalty breakdown" Exp_gap.run;
     entry "tacan" "Section 1: Topologically-Aware CAN imbalance" Exp_tacan.run;
     entry "taxonomy" "Section 1: topology-exploitation taxonomy head-to-head" Exp_taxonomy.run;
-    entry "xover" "Section 5: Chord/Pastry generality" Exp_xoverlay.run;
+    entry "xover" "Section 5: Chord/Pastry/Koorde generality" Exp_xoverlay.run;
     entry "coords" "Section 2: GNP coordinates vs landmark vectors" Exp_coords.run;
     entry "optim" "Section 5.5: optimisations and curve ablations" Exp_optim.run;
     entry "qos" "Section 6: load-aware neighbor selection" Exp_qos.run;
@@ -41,6 +41,8 @@ let all =
       (fun ?scale ppf -> Exp_cache.run ?scale ppf);
     entry "mcast" "Dissemination trees: map-placed vs random relays under churn (all overlays)"
       (fun ?scale ppf -> Exp_mcast.run ?scale ppf);
+    entry "degree" "Constant-degree frontier: choice budget k vs stretch / maintenance / repair"
+      (fun ?scale ppf -> Exp_degree.run ?scale ppf);
     entry "domains" "Domain-parallel hosting: byte-identical metrics across pool sizes"
       (fun ?scale ppf -> Exp_domains.run ?scale ppf);
     entry "alloc" "Allocation budget: exact minor words per hot-path op"

@@ -375,7 +375,7 @@ let qcheck_cross_backend =
             && s.Workload.Exp_cache.hit_rate = first.Workload.Exp_cache.hit_rate
             && s.Workload.Exp_cache.requests = first.Workload.Exp_cache.requests)
           rest
-        && List.length stats = 6
+        && List.length stats = 7
       | [] -> false)
 
 let test_exp_cache_ordering () =
@@ -383,7 +383,7 @@ let test_exp_cache_ordering () =
      delivered latency at the same hit rate, and replication reduces the
      max per-node load vs replicas = 1. *)
   match Workload.Exp_cache.data ~scale:exp_scale () with
-  | [ aware; random; _can; _chord; _pastry; norepl ] ->
+  | [ aware; random; _can; _chord; _pastry; _koorde; norepl ] ->
     let open Workload.Exp_cache in
     Alcotest.(check bool) "equal hit rates" true (aware.hit_rate = random.hit_rate);
     Alcotest.(check bool) "aware p50 <= random p50" true (aware.p50_ms <= random.p50_ms);
@@ -392,7 +392,7 @@ let test_exp_cache_ordering () =
       (aware.max_load <= norepl.max_load);
     Alcotest.(check bool) "replication plane ran" true (aware.replications > 0);
     Alcotest.(check int) "replicas=1 row is replication-free" 0 norepl.replications
-  | _ -> Alcotest.fail "exp_cache: expected 6 rows"
+  | _ -> Alcotest.fail "exp_cache: expected 7 rows"
 
 let test_exp_cache_metrics_deterministic () =
   (* Same seed, fresh registries: the whole metrics dump (counters,

@@ -77,37 +77,6 @@ let test_fingers_in_arcs () =
   let t, _ = build ~n:100 ~seed:7 in
   check_ok (Ring.check_invariants t)
 
-let test_route_reaches_owner () =
-  let t, rng = build ~n:150 ~seed:8 in
-  let ids = Ring.node_ids t in
-  let ring = 1 lsl Ring.key_bits t in
-  for _ = 1 to 300 do
-    let src = Rng.pick rng ids in
-    let key = Rng.int rng ring in
-    match Ring.route t ~src ~key with
-    | None -> Alcotest.fail "routing failed"
-    | Some hops ->
-      Alcotest.(check int) "src first" src (List.hd hops);
-      Alcotest.(check int) "owner last" (Ring.successor_node t key)
-        (List.nth hops (List.length hops - 1))
-  done
-
-let test_route_log_hops () =
-  let t, rng = build ~n:512 ~seed:9 in
-  let ids = Ring.node_ids t in
-  let ring = 1 lsl Ring.key_bits t in
-  let total = ref 0 in
-  let count = 300 in
-  for _ = 1 to count do
-    match Ring.route t ~src:(Rng.pick rng ids) ~key:(Rng.int rng ring) with
-    | Some hops -> total := !total + List.length hops - 1
-    | None -> Alcotest.fail "routing failed"
-  done;
-  let avg = float_of_int !total /. float_of_int count in
-  Alcotest.(check bool)
-    (Printf.sprintf "avg hops %.2f is logarithmic-ish (< 12 for 512 nodes)" avg)
-    true (avg < 12.0)
-
 let test_remove_node () =
   let t, rng = build ~n:60 ~seed:10 in
   let victims = Rng.sample rng 20 (Ring.node_ids t) in
@@ -133,22 +102,8 @@ let test_single_node_ring () =
   Alcotest.(check int) "owns all keys" 42 (Ring.successor_node t 12345);
   Alcotest.(check (option (list int))) "self route" (Some [ 42 ]) (Ring.route t ~src:42 ~key:7)
 
-let qcheck_route_reaches =
-  QCheck.Test.make ~name:"chord routing reaches the key successor" ~count:25
-    QCheck.(pair (int_range 0 1000) (int_range 1 80))
-    (fun (seed, n) ->
-      let t, rng = build ~n ~seed in
-      let ids = Ring.node_ids t in
-      let ok = ref true in
-      for _ = 1 to 20 do
-        let key = Rng.int rng (1 lsl Ring.key_bits t) in
-        match Ring.route t ~src:(Rng.pick rng ids) ~key with
-        | Some hops ->
-          if List.nth hops (List.length hops - 1) <> Ring.successor_node t key then ok := false
-        | None -> ok := false
-      done;
-      !ok)
-
+(* Generic routing/owner/log-hop properties live in the shared
+   backend-conformance suite (test_conformance.ml). *)
 let suite =
   [
     Alcotest.test_case "membership" `Quick test_membership;
@@ -158,9 +113,6 @@ let suite =
     Alcotest.test_case "arc membership" `Quick test_arc_members;
     Alcotest.test_case "arc membership wraps" `Quick test_arc_members_wrap;
     Alcotest.test_case "fingers live in arcs" `Quick test_fingers_in_arcs;
-    Alcotest.test_case "routing reaches owner" `Quick test_route_reaches_owner;
-    Alcotest.test_case "routing is logarithmic" `Quick test_route_log_hops;
     Alcotest.test_case "node removal" `Quick test_remove_node;
     Alcotest.test_case "single-node ring" `Quick test_single_node_ring;
-    QCheck_alcotest.to_alcotest qcheck_route_reaches;
   ]

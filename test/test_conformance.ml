@@ -1,0 +1,292 @@
+(* Shared backend-conformance suite: one property harness over all five
+   overlay backends (CAN, eCAN, Chord, Pastry, Koorde).  Each backend is
+   wrapped in the same record — keyed routing, a membership-model owner
+   oracle, join/leave, stabilization, invariants — so the properties the
+   per-backend suites used to copy (routes terminate within the hop
+   bound, routes end at the oracle's owner, churn preserves invariants,
+   same-seed and domains-1-vs-4 metrics JSON are byte-identical per
+   DESIGN §12) are written exactly once. *)
+
+module Rng = Prelude.Rng
+module Point = Geometry.Point
+module Metrics = Engine.Metrics
+module Dpool = Engine.Dpool
+module Json = Prelude.Json
+
+type backend = {
+  name : string;
+  members : unit -> int array;
+  route : src:int -> key:int -> int list option;
+  owner : int -> int;  (* membership-model oracle: expected route terminal *)
+  key_space : int;  (* route keys are drawn from [0, key_space) *)
+  mean_hop_bound : int -> float;  (* allowed mean hops at a given size *)
+  join : int -> unit;
+  leave : int -> unit;
+  stabilize : unit -> unit;
+  invariants : unit -> (unit, string) result;
+}
+
+let log2f n = log (float_of_int (max 2 n)) /. log 2.
+
+(* ---- the five wrappers ---- *)
+
+let make_chord ~seed ~n =
+  let module Ring = Chord.Ring in
+  let rng = Rng.create seed in
+  let t = Ring.create () in
+  for id = 0 to n - 1 do
+    Ring.add_node t ~rng id
+  done;
+  let sel = Rng.create (seed + 1) in
+  let selector ~node:_ ~arc:_ ~candidates = Some (Rng.pick sel candidates) in
+  Ring.build_fingers t ~selector;
+  {
+    name = "chord";
+    members = (fun () -> Ring.node_ids t);
+    route = (fun ~src ~key -> Ring.route t ~src ~key);
+    owner = (fun key -> Ring.successor_node t key);
+    key_space = 1 lsl Ring.key_bits t;
+    mean_hop_bound = (fun n -> (2. *. log2f n) +. 6.);
+    join = (fun id -> Ring.add_node t ~rng id);
+    leave = (fun id -> Ring.remove_node t id);
+    stabilize = (fun () -> Ring.build_fingers t ~selector);
+    invariants = (fun () -> Ring.check_invariants t);
+  }
+
+let make_pastry ~seed ~n =
+  let module Mesh = Pastry.Mesh in
+  let rng = Rng.create seed in
+  let t = Mesh.create () in
+  for id = 0 to n - 1 do
+    Mesh.add_node t ~rng id
+  done;
+  let sel = Rng.create (seed + 1) in
+  let selector ~node:_ ~prefix:_ ~candidates = Some (Rng.pick sel candidates) in
+  Mesh.build_tables t ~selector;
+  {
+    name = "pastry";
+    members = (fun () -> Mesh.node_ids t);
+    route = (fun ~src ~key -> Mesh.route t ~src ~key);
+    owner = (fun key -> Mesh.owner_of t key);
+    key_space = 1 lsl (Mesh.digit_bits t * Mesh.num_digits t);
+    mean_hop_bound = (fun n -> (2. *. log2f n) +. 6.);
+    join = (fun id -> Mesh.add_node t ~rng id);
+    leave = (fun id -> Mesh.remove_node t id);
+    stabilize = (fun () -> Mesh.build_tables t ~selector);
+    invariants = (fun () -> Mesh.check_invariants t);
+  }
+
+let make_koorde ~seed ~n =
+  let module Dbj = Koorde.Debruijn in
+  let rng = Rng.create seed in
+  let degree = [| 2; 4; 8; 16 |].(seed mod 4) in
+  let t = Dbj.create ~degree () in
+  for id = 0 to n - 1 do
+    Dbj.add_node t ~rng id
+  done;
+  let sel = Rng.create (seed + 1) in
+  let selector ~node:_ ~arc:_ ~candidates = Some (Rng.pick sel candidates) in
+  Dbj.build_fingers t ~selector;
+  {
+    name = "koorde";
+    members = (fun () -> Dbj.node_ids t);
+    route = (fun ~src ~key -> Dbj.route t ~src ~key);
+    owner = (fun key -> Dbj.successor_node t key);
+    key_space = 1 lsl Dbj.key_bits t;
+    (* log_k N digit hops plus successor corrections, which random
+       preferred entries make more frequent than the exact policy's O(1) *)
+    mean_hop_bound = (fun n -> (2. *. log2f n) +. 8.);
+    join = (fun id -> Dbj.add_node t ~rng id);
+    leave = (fun id -> Dbj.remove_node t id);
+    stabilize = (fun () -> Dbj.build_fingers t ~selector);
+    invariants = (fun () -> Dbj.check_invariants t);
+  }
+
+(* CAN and eCAN route on points; keys map onto the unit square through a
+   fixed 2 x 10-bit grid so the keyed interface is shared. *)
+let can_key_bits = 20
+
+let point_of_key key =
+  let side = 1 lsl (can_key_bits / 2) in
+  let cell v = (float_of_int v +. 0.5) /. float_of_int side in
+  [| cell (key lsr (can_key_bits / 2)); cell (key land (side - 1)) |]
+
+let make_can ~seed ~n =
+  let module Can_overlay = Can.Overlay in
+  let rng = Rng.create seed in
+  let t = Can_overlay.create ~dims:2 0 in
+  for id = 1 to n - 1 do
+    ignore (Can_overlay.join t id (Point.random rng 2))
+  done;
+  {
+    name = "can";
+    members = (fun () -> Can_overlay.node_ids t);
+    route = (fun ~src ~key -> Can_overlay.route t ~src (point_of_key key));
+    owner = (fun key -> Can_overlay.owner_of t (point_of_key key));
+    key_space = 1 lsl can_key_bits;
+    mean_hop_bound = (fun n -> (4. *. sqrt (float_of_int n)) +. 8.);
+    join = (fun id -> ignore (Can_overlay.join t id (Point.random rng 2)));
+    leave = (fun id -> ignore (Can_overlay.leave t id));
+    stabilize = (fun () -> ());
+    invariants = (fun () -> Can_overlay.check_invariants t);
+  }
+
+let make_ecan ~seed ~n =
+  let module Can_overlay = Can.Overlay in
+  let module Ecan_x = Ecan.Expressway in
+  let rng = Rng.create seed in
+  let t = Can_overlay.create ~dims:2 0 in
+  for id = 1 to n - 1 do
+    ignore (Can_overlay.join t id (Point.random rng 2))
+  done;
+  let e = Ecan_x.create ~span_bits:2 t in
+  let sel = Rng.create (seed + 1) in
+  let selector ~node:_ ~region:_ ~candidates = Some (Rng.pick sel candidates) in
+  Ecan_x.build_tables e ~selector;
+  {
+    name = "ecan";
+    members = (fun () -> Can_overlay.node_ids t);
+    route = (fun ~src ~key -> Ecan_x.route e ~src (point_of_key key));
+    owner = (fun key -> Can_overlay.owner_of t (point_of_key key));
+    key_space = 1 lsl can_key_bits;
+    mean_hop_bound = (fun n -> (4. *. sqrt (float_of_int n)) +. 8.);
+    join = (fun id -> ignore (Can_overlay.join t id (Point.random rng 2)));
+    leave = (fun id -> ignore (Can_overlay.leave t id));
+    stabilize = (fun () -> Ecan_x.build_tables e ~selector);
+    invariants = (fun () -> Can_overlay.check_invariants t);
+  }
+
+let backends =
+  [
+    ("can", make_can);
+    ("ecan", make_ecan);
+    ("chord", make_chord);
+    ("pastry", make_pastry);
+    ("koorde", make_koorde);
+  ]
+
+(* ---- properties ---- *)
+
+let qcheck_terminates_within_bound (name, make) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s: routes terminate within the hop bound" name)
+    ~count:15
+    QCheck.(pair (int_range 0 1000) (int_range 8 80))
+    (fun (seed, n) ->
+      let b = make ~seed ~n in
+      let rng = Rng.create (seed + 2) in
+      let ids = b.members () in
+      let total = ref 0 in
+      let routes = 24 in
+      for _ = 1 to routes do
+        let key = Rng.int rng b.key_space in
+        match b.route ~src:(Rng.pick rng ids) ~key with
+        | Some hops -> total := !total + List.length hops - 1
+        | None -> QCheck.Test.fail_report (b.name ^ ": route did not terminate")
+      done;
+      float_of_int !total /. float_of_int routes <= b.mean_hop_bound n)
+
+let qcheck_lookup_matches_oracle (name, make) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s: lookups end at the membership model's owner" name)
+    ~count:15
+    QCheck.(pair (int_range 0 1000) (int_range 8 80))
+    (fun (seed, n) ->
+      let b = make ~seed ~n in
+      let rng = Rng.create (seed + 2) in
+      let ids = b.members () in
+      let ok = ref true in
+      for _ = 1 to 24 do
+        let key = Rng.int rng b.key_space in
+        match b.route ~src:(Rng.pick rng ids) ~key with
+        | Some hops -> if List.nth hops (List.length hops - 1) <> b.owner key then ok := false
+        | None -> ok := false
+      done;
+      !ok)
+
+let qcheck_churn_preserves_invariants (name, make) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s: join/leave churn preserves invariants" name)
+    ~count:10
+    QCheck.(pair (int_range 0 500) (int_range 12 48))
+    (fun (seed, n) ->
+      let b = make ~seed ~n in
+      let rng = Rng.create (seed + 3) in
+      let next_id = ref 10_000 in
+      for _ = 1 to 16 do
+        (if Array.length (b.members ()) > 8 && Rng.int rng 2 = 0 then
+           b.leave (Rng.pick rng (b.members ()))
+         else begin
+           b.join !next_id;
+           incr next_id
+         end);
+        b.stabilize ()
+      done;
+      (match b.invariants () with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_report (b.name ^ ": " ^ e));
+      (* and the survivors still resolve lookups correctly *)
+      let ids = b.members () in
+      let ok = ref true in
+      for _ = 1 to 12 do
+        let key = Rng.int rng b.key_space in
+        match b.route ~src:(Rng.pick rng ids) ~key with
+        | Some hops -> if List.nth hops (List.length hops - 1) <> b.owner key then ok := false
+        | None -> ok := false
+      done;
+      !ok)
+
+(* ---- determinism: same seed and domains 1 vs 4 give byte-identical
+   metrics JSON (DESIGN §12) ---- *)
+
+let with_default_pool ~domains f =
+  Dpool.set_default (Some (Dpool.get ~domains));
+  Fun.protect ~finally:(fun () -> Dpool.set_default None) f
+
+let workload_json make ~seed ~domains =
+  with_default_pool ~domains (fun () ->
+      let m = Metrics.create () in
+      let b = make ~seed ~n:32 in
+      let labels = [ ("overlay", b.name) ] in
+      let routes = Metrics.counter m ~labels "conf_routes" in
+      let failures = Metrics.counter m ~labels "conf_failures" in
+      let hops = Metrics.histogram m ~labels "conf_hops" in
+      let rng = Rng.create (seed + 4) in
+      let next_id = ref 20_000 in
+      for step = 1 to 24 do
+        (if step mod 3 = 0 then begin
+           if Array.length (b.members ()) > 8 then b.leave (Rng.pick rng (b.members ()));
+           b.join !next_id;
+           incr next_id;
+           b.stabilize ()
+         end);
+        let key = Rng.int rng b.key_space in
+        match b.route ~src:(Rng.pick rng (b.members ())) ~key with
+        | Some h ->
+          Metrics.incr routes;
+          Metrics.observe hops (float_of_int (List.length h - 1))
+        | None -> Metrics.incr failures
+      done;
+      Json.to_string (Metrics.to_json m))
+
+let test_deterministic_json (name, make) () =
+  let a = workload_json make ~seed:97 ~domains:1 in
+  let b = workload_json make ~seed:97 ~domains:1 in
+  Alcotest.(check string) (name ^ " same seed is byte-identical") a b;
+  let c = workload_json make ~seed:97 ~domains:4 in
+  Alcotest.(check string) (name ^ " domains 1 vs 4 is byte-identical") a c
+
+let suite =
+  List.concat_map
+    (fun entry ->
+      let name = fst entry in
+      [
+        QCheck_alcotest.to_alcotest (qcheck_terminates_within_bound entry);
+        QCheck_alcotest.to_alcotest (qcheck_lookup_matches_oracle entry);
+        QCheck_alcotest.to_alcotest (qcheck_churn_preserves_invariants entry);
+        Alcotest.test_case
+          (name ^ ": metrics JSON deterministic across seed and domains")
+          `Quick
+          (test_deterministic_json entry);
+      ])
+    backends

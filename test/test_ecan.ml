@@ -59,21 +59,6 @@ let test_entries_point_into_region () =
         (Ecan.entries e id))
     (Can_overlay.node_ids t)
 
-let test_route_reaches_owner () =
-  let e, rng = build ~n:200 ~seed:4 () in
-  let t = Ecan.can e in
-  let ids = Can_overlay.node_ids t in
-  for _ = 1 to 300 do
-    let src = Rng.pick rng ids in
-    let p = Point.random rng 2 in
-    match Ecan.route e ~src p with
-    | None -> Alcotest.fail "ecan routing failed"
-    | Some hops ->
-      Alcotest.(check int) "starts at src" src (List.hd hops);
-      Alcotest.(check int) "ends at owner" (Can_overlay.owner_of t p)
-        (List.nth hops (List.length hops - 1))
-  done
-
 let avg_hops route_fn t rng ~count =
   let ids = Can_overlay.node_ids t in
   let total = ref 0 in
@@ -141,31 +126,15 @@ let test_span_bits_3 () =
         (List.nth hops (List.length hops - 1))
   done
 
-let qcheck_route_always_reaches =
-  QCheck.Test.make ~name:"ecan routing reaches the owner on random overlays" ~count:20
-    QCheck.(pair (int_range 0 1000) (int_range 2 80))
-    (fun (seed, n) ->
-      let e, rng = build ~n ~seed () in
-      let t = Ecan.can e in
-      let ids = Can_overlay.node_ids t in
-      let ok = ref true in
-      for _ = 1 to 20 do
-        let p = Point.random rng 2 in
-        match Ecan.route e ~src:(Prelude.Rng.pick rng ids) p with
-        | Some hops -> if List.nth hops (List.length hops - 1) <> Can_overlay.owner_of t p then ok := false
-        | None -> ok := false
-      done;
-      !ok)
-
+(* Generic routing/owner properties live in the shared
+   backend-conformance suite (test_conformance.ml). *)
 let suite =
   [
     Alcotest.test_case "digit extraction" `Quick test_digits;
     Alcotest.test_case "region prefixes" `Quick test_region_prefix;
     Alcotest.test_case "entries live in their regions" `Quick test_entries_point_into_region;
-    Alcotest.test_case "routing reaches owner" `Quick test_route_reaches_owner;
     Alcotest.test_case "expressways beat plain CAN" `Quick test_expressway_beats_plain_can;
     Alcotest.test_case "fallback without tables" `Quick test_route_without_tables_falls_back;
     Alcotest.test_case "set_entry / table_size" `Quick test_set_entry_and_table_size;
     Alcotest.test_case "span_bits = 3" `Quick test_span_bits_3;
-    QCheck_alcotest.to_alcotest qcheck_route_always_reaches;
   ]

@@ -12,6 +12,8 @@ let () =
       ("ecan", Test_ecan.suite);
       ("chord", Test_chord.suite);
       ("pastry", Test_pastry.suite);
+      ("koorde", Test_koorde.suite);
+      ("conformance", Test_conformance.suite);
       ("softstate", Test_softstate.suite);
       ("pubsub", Test_pubsub.suite);
       ("faults", Test_faults.suite);

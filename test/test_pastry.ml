@@ -66,37 +66,6 @@ let test_invariants () =
   let t, _ = build ~n:120 ~seed:4 () in
   check_ok (Mesh.check_invariants t)
 
-let test_route_reaches_owner () =
-  let t, rng = build ~n:150 ~seed:5 () in
-  let ids = Mesh.node_ids t in
-  let space = 1 lsl (Mesh.digit_bits t * Mesh.num_digits t) in
-  for _ = 1 to 300 do
-    let src = Rng.pick rng ids in
-    let key = Rng.int rng space in
-    match Mesh.route t ~src ~key with
-    | None -> Alcotest.fail "routing failed"
-    | Some hops ->
-      Alcotest.(check int) "src first" src (List.hd hops);
-      Alcotest.(check int) "owner last" (Mesh.owner_of t key)
-        (List.nth hops (List.length hops - 1))
-  done
-
-let test_route_log_hops () =
-  let t, rng = build ~n:512 ~seed:6 () in
-  let ids = Mesh.node_ids t in
-  let space = 1 lsl (Mesh.digit_bits t * Mesh.num_digits t) in
-  let total = ref 0 in
-  let count = 300 in
-  for _ = 1 to count do
-    match Mesh.route t ~src:(Rng.pick rng ids) ~key:(Rng.int rng space) with
-    | Some hops -> total := !total + List.length hops - 1
-    | None -> Alcotest.fail "routing failed"
-  done;
-  let avg = float_of_int !total /. float_of_int count in
-  Alcotest.(check bool)
-    (Printf.sprintf "avg hops %.2f under 8 for 512 nodes base 4" avg)
-    true (avg < 8.0)
-
 let test_leaves () =
   let t, _ = build ~n:50 ~seed:7 () in
   Array.iter
@@ -128,23 +97,8 @@ let test_remove_node () =
         (List.nth hops (List.length hops - 1))
   done
 
-let qcheck_route_reaches =
-  QCheck.Test.make ~name:"pastry routing reaches the numerically closest node" ~count:20
-    QCheck.(pair (int_range 0 1000) (int_range 1 80))
-    (fun (seed, n) ->
-      let t, rng = build ~n ~seed () in
-      let ids = Mesh.node_ids t in
-      let space = 1 lsl (Mesh.digit_bits t * Mesh.num_digits t) in
-      let ok = ref true in
-      for _ = 1 to 20 do
-        let key = Rng.int rng space in
-        match Mesh.route t ~src:(Rng.pick rng ids) ~key with
-        | Some hops ->
-          if List.nth hops (List.length hops - 1) <> Mesh.owner_of t key then ok := false
-        | None -> ok := false
-      done;
-      !ok)
-
+(* Generic routing/owner/log-hop properties live in the shared
+   backend-conformance suite (test_conformance.ml). *)
 let suite =
   [
     Alcotest.test_case "digit extraction" `Quick test_digits;
@@ -152,9 +106,6 @@ let suite =
     Alcotest.test_case "prefix membership partitions" `Quick test_members_with_prefix_partition;
     Alcotest.test_case "owner is closest id" `Quick test_owner_is_numerically_closest;
     Alcotest.test_case "table invariants" `Quick test_invariants;
-    Alcotest.test_case "routing reaches owner" `Quick test_route_reaches_owner;
-    Alcotest.test_case "routing is logarithmic" `Quick test_route_log_hops;
     Alcotest.test_case "leaf sets" `Quick test_leaves;
     Alcotest.test_case "node removal" `Quick test_remove_node;
-    QCheck_alcotest.to_alcotest qcheck_route_reaches;
   ]

@@ -49,12 +49,49 @@ let test_cache_experiment () =
   in
   Alcotest.(check bool) "table lists every backend" true
     (contains "ecan aware" out && contains "ecan random" out && contains "can greedy" out
-   && contains "chord" out && contains "pastry" out);
+   && contains "chord" out && contains "pastry" out && contains "koorde" out);
   let after = Engine.Metrics.size Engine.Metrics.global in
   Alcotest.(check bool) "cache gauges registered" true (after > before);
   let json = Prelude.Json.to_string (Engine.Metrics.to_json Engine.Metrics.global) in
   Alcotest.(check bool) "headline comparison gauges present" true
     (contains "cache_random_over_aware_p99" json && contains "cache_repl_load_ratio" json)
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_degree_experiment () =
+  (* The degree sweep is registered, renders every (backend, k) cell at a
+     real scale, and reruns never shrink the metrics registry (gauges are
+     stable instruments, not fresh ones per run). *)
+  Alcotest.(check bool) "degree registered" true (Workload.Registry.find "degree" <> None);
+  let render () =
+    let buf = Buffer.create 1024 in
+    let ppf = Format.formatter_of_buffer buf in
+    Workload.Exp_degree.run_custom ~scale:2 ppf;
+    Format.pp_print_flush ppf ();
+    Buffer.contents buf
+  in
+  let before = Engine.Metrics.size Engine.Metrics.global in
+  let out = render () in
+  List.iter
+    (fun b ->
+      Alcotest.(check bool) (b ^ " row present") true (contains b out))
+    [ "ecan"; "can"; "chord"; "pastry"; "koorde" ];
+  let after_once = Engine.Metrics.size Engine.Metrics.global in
+  Alcotest.(check bool) "degree gauges registered" true (after_once > before);
+  let _ = render () in
+  let after_twice = Engine.Metrics.size Engine.Metrics.global in
+  Alcotest.(check bool) "rerun never shrinks the registry" true (after_twice = after_once);
+  let json = Prelude.Json.to_string (Engine.Metrics.to_json Engine.Metrics.global) in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "headline gauge for k=%d present" k)
+        true
+        (contains (Printf.sprintf "degree_random_over_aware_k%d" k) json))
+    [ 2; 4; 8; 16 ]
 
 let test_tableout () =
   let t = Workload.Tableout.create ~title:"t" ~columns:[ "a"; "bb" ] in
@@ -97,6 +134,7 @@ let suite =
   Alcotest.test_case "nn data curves" `Quick test_nn_data_curves
   :: Alcotest.test_case "registry lookup" `Quick test_registry_lookup
   :: Alcotest.test_case "cache experiment output & gauges" `Quick test_cache_experiment
+  :: Alcotest.test_case "degree experiment output & gauges" `Quick test_degree_experiment
   :: Alcotest.test_case "table rendering" `Quick test_tableout
   :: Alcotest.test_case "context cache" `Quick test_ctx_cache
   :: List.map
